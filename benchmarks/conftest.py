@@ -1,0 +1,46 @@
+"""Shared helpers for the benchmark suite.
+
+Each ``test_figN_*`` module regenerates one figure of the paper's
+evaluation section at reduced ("quick") scale, prints the resulting table
+(bypassing pytest's capture so it lands in the benchmark log), and saves
+it under ``benchmarks/results/``.  Pass ``--run-full-experiments`` to use
+the paper-scale settings instead (slow: hours for the full grid).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.report import ExperimentOutput, render_text
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--run-full-experiments",
+        action="store_true",
+        default=False,
+        help="run paper-scale experiment settings instead of quick presets",
+    )
+
+
+@pytest.fixture
+def full_scale(request) -> bool:
+    return bool(request.config.getoption("--run-full-experiments"))
+
+
+@pytest.fixture
+def emit_table(capsys):
+    """Print a rendered experiment table and persist it to results/."""
+
+    def _emit(output: ExperimentOutput) -> None:
+        text = render_text(output)
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{output.experiment_id}.txt").write_text(text + "\n")
+        with capsys.disabled():
+            print("\n" + text + "\n")
+
+    return _emit

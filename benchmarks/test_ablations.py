@@ -1,0 +1,78 @@
+"""Benchmarks + tables for the design-choice ablations (DESIGN.md Sec. 3)."""
+
+from repro.experiments import (
+    ablation_cooling,
+    ablation_neighborhood,
+    ablation_threshold,
+)
+
+
+def test_ablation_threshold(benchmark, emit_table, full_scale):
+    settings = (
+        ablation_threshold.AblationThresholdSettings()
+        if full_scale
+        else ablation_threshold.AblationThresholdSettings.quick()
+    )
+    output = benchmark.pedantic(
+        ablation_threshold.run, args=(settings,), rounds=1, iterations=1
+    )
+    emit_table(output)
+
+    series = output.raw["series"]
+    # The trigger must save iterations relative to always-slow cooling.
+    assert (
+        series["TTSA"]["evaluations"].mean
+        <= series["Vanilla-slow"]["evaluations"].mean
+    )
+
+
+def test_ablation_neighborhood(benchmark, emit_table, full_scale):
+    settings = (
+        ablation_neighborhood.AblationNeighborhoodSettings()
+        if full_scale
+        else ablation_neighborhood.AblationNeighborhoodSettings.quick()
+    )
+    output = benchmark.pedantic(
+        ablation_neighborhood.run, args=(settings,), rounds=1, iterations=1
+    )
+    emit_table(output)
+    assert set(output.raw["series"]) == set(
+        ablation_neighborhood.NEIGHBORHOOD_VARIANTS
+    )
+
+
+def test_ablation_cooling(benchmark, emit_table, full_scale):
+    settings = (
+        ablation_cooling.AblationCoolingSettings()
+        if full_scale
+        else ablation_cooling.AblationCoolingSettings.quick()
+    )
+    output = benchmark.pedantic(
+        ablation_cooling.run, args=(settings,), rounds=1, iterations=1
+    )
+    emit_table(output)
+
+    series = output.raw["series"]
+    # Slower cooling spends strictly more objective evaluations.
+    evals = [entry["evaluations"].mean for entry in series.values()]
+    assert evals == sorted(evals)
+
+
+def test_ablation_budget(benchmark, emit_table, full_scale):
+    from repro.experiments import ablation_budget
+
+    settings = (
+        ablation_budget.AblationBudgetSettings()
+        if full_scale
+        else ablation_budget.AblationBudgetSettings.quick()
+    )
+    output = benchmark.pedantic(
+        ablation_budget.run, args=(settings,), rounds=1, iterations=1
+    )
+    emit_table(output)
+
+    evals = [
+        entry["evaluations"].mean for entry in output.raw["series"].values()
+    ]
+    # A colder stop temperature strictly lengthens the anneal.
+    assert evals == sorted(evals)

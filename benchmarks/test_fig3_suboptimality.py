@@ -1,0 +1,30 @@
+"""Benchmark + table for Fig. 3 — suboptimality on the small network.
+
+Regenerates the paper's comparison of TSAJS against the exhaustive
+optimum, hJTORA, LocalSearch and Greedy (average system utility with 95 %
+CI over random drops of the U=6 / S=4 / N=2 network).
+"""
+
+from repro.experiments import fig3_suboptimality as fig3
+
+
+def test_fig3_suboptimality(benchmark, emit_table, full_scale):
+    settings = (
+        fig3.Fig3Settings() if full_scale else fig3.Fig3Settings.quick()
+    )
+    output = benchmark.pedantic(
+        fig3.run, args=(settings,), rounds=1, iterations=1
+    )
+    emit_table(output)
+
+    series = output.raw["series"]
+    workload_count = len(output.raw["workloads"])
+    # Every scheme produced one point per workload.
+    for name, stats in series.items():
+        assert len(stats) == workload_count, name
+    # Shape check: TSAJS near-optimal, never above the optimum.
+    for point in range(workload_count):
+        optimum = series["Exhaustive"][point].mean
+        tsajs = series["TSAJS"][point].mean
+        assert tsajs <= optimum + 1e-9
+        assert tsajs >= 0.95 * optimum

@@ -1,0 +1,22 @@
+"""Benchmark + table for Fig. 4 — system utility vs user count."""
+
+from repro.experiments import fig4_user_scale as fig4
+
+
+def test_fig4_user_scale(benchmark, emit_table, full_scale):
+    settings = (
+        fig4.Fig4Settings() if full_scale else fig4.Fig4Settings.quick()
+    )
+    output = benchmark.pedantic(
+        fig4.run, args=(settings,), rounds=1, iterations=1
+    )
+    emit_table(output)
+
+    for panel in output.raw["panels"]:
+        counts = panel["user_counts"]
+        for name, stats in panel["series"].items():
+            assert len(stats) == len(counts), name
+        # Shape: with slots plentiful (first half of the sweep), more
+        # users means more utility for TSAJS.
+        tsajs = panel["series"]["TSAJS"]
+        assert tsajs[-1].mean >= tsajs[0].mean

@@ -1,0 +1,21 @@
+"""Benchmark + table for Fig. 5 — system utility vs task data size."""
+
+from repro.experiments import fig5_data_size as fig5
+
+
+def test_fig5_data_size(benchmark, emit_table, full_scale):
+    settings = (
+        fig5.Fig5Settings() if full_scale else fig5.Fig5Settings.quick()
+    )
+    output = benchmark.pedantic(
+        fig5.run, args=(settings,), rounds=1, iterations=1
+    )
+    emit_table(output)
+
+    series = output.raw["series"]
+    sizes = output.raw["data_sizes_kb"]
+    for name, stats in series.items():
+        assert len(stats) == len(sizes), name
+    # Shape: utility decreases as the input grows (upload cost dominates).
+    tsajs = series["TSAJS"]
+    assert tsajs[-1].mean < tsajs[0].mean

@@ -1,0 +1,20 @@
+"""Benchmark + table for Fig. 6 — system utility vs workload, fixed users."""
+
+from repro.experiments import fig6_workload as fig6
+
+
+def test_fig6_workload(benchmark, emit_table, full_scale):
+    settings = (
+        fig6.Fig6Settings() if full_scale else fig6.Fig6Settings.quick()
+    )
+    output = benchmark.pedantic(
+        fig6.run, args=(settings,), rounds=1, iterations=1
+    )
+    emit_table(output)
+
+    for panel in output.raw["panels"]:
+        for name, stats in panel["series"].items():
+            assert len(stats) == len(panel["workloads"]), name
+        # Shape: utility grows with the computational workload.
+        tsajs = panel["series"]["TSAJS"]
+        assert tsajs[-1].mean > tsajs[0].mean

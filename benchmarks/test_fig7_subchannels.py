@@ -1,0 +1,22 @@
+"""Benchmark + table for Fig. 7 — system utility vs sub-channel count."""
+
+from repro.experiments import fig7_subchannels as fig7
+
+
+def test_fig7_subchannels(benchmark, emit_table, full_scale):
+    settings = (
+        fig7.Fig7Settings() if full_scale else fig7.Fig7Settings.quick()
+    )
+    output = benchmark.pedantic(
+        fig7.run, args=(settings,), rounds=1, iterations=1
+    )
+    emit_table(output)
+
+    for panel in output.raw["panels"]:
+        counts = panel["subchannel_counts"]
+        for name, stats in panel["series"].items():
+            assert len(stats) == len(counts), name
+        # All utilities finite and bounded by the weighted user count.
+        for stats in panel["series"].values():
+            for point in stats:
+                assert point.mean <= settings.n_users

@@ -1,0 +1,23 @@
+"""Benchmark + table for Fig. 8 — computation time vs sub-channel count."""
+
+from repro.experiments import fig8_runtime as fig8
+
+
+def test_fig8_runtime(benchmark, emit_table, full_scale):
+    settings = (
+        fig8.Fig8Settings() if full_scale else fig8.Fig8Settings.quick()
+    )
+    output = benchmark.pedantic(
+        fig8.run, args=(settings,), rounds=1, iterations=1
+    )
+    emit_table(output)
+
+    for panel in output.raw["panels"]:
+        series = panel["series"]
+        # Shape: hJTORA's cost climbs with the search space (its rounds
+        # scan every user x slot); Greedy stays cheap and flat.
+        assert series["hJTORA"][-1].mean > series["hJTORA"][0].mean
+        assert series["Greedy"][-1].mean < series["hJTORA"][-1].mean
+        for stats in series.values():
+            for point in stats:
+                assert point.mean > 0.0

@@ -1,0 +1,22 @@
+"""Benchmark + table for Fig. 9 — user-preference trade-off (TSAJS)."""
+
+from repro.experiments import fig9_preferences as fig9
+
+
+def test_fig9_preferences(benchmark, emit_table, full_scale):
+    settings = (
+        fig9.Fig9Settings() if full_scale else fig9.Fig9Settings.quick()
+    )
+    output = benchmark.pedantic(
+        fig9.run, args=(settings,), rounds=1, iterations=1
+    )
+    emit_table(output)
+
+    for panel in output.raw["panels"]:
+        betas = panel["beta_time_values"]
+        assert len(panel["energy"]) == len(betas)
+        assert len(panel["delay"]) == len(betas)
+        # Shape: a stronger time preference lowers delay and raises
+        # energy (the paper's Fig. 9 trade-off).
+        assert panel["delay"][-1].mean <= panel["delay"][0].mean
+        assert panel["energy"][-1].mean >= panel["energy"][0].mean

@@ -1,0 +1,65 @@
+"""Micro-benchmarks for the library's hot paths.
+
+These measure the primitives the schedulers are built from, so a
+performance regression in the objective evaluation or the neighbourhood
+sampler shows up directly rather than as a diffuse slow-down of every
+figure benchmark.
+"""
+
+import numpy as np
+
+from repro.core.allocation import kkt_allocation
+from repro.core.decision import OffloadingDecision
+from repro.core.neighborhood import NeighborhoodSampler
+from repro.core.objective import ObjectiveEvaluator
+from repro.sim.config import SimulationConfig
+from repro.sim.scenario import Scenario
+
+_CONFIG = SimulationConfig(n_users=50, n_servers=9, n_subbands=5)
+_SCENARIO = Scenario.build(_CONFIG, seed=0)
+_DECISION = OffloadingDecision.random_feasible(
+    _SCENARIO.n_users,
+    _SCENARIO.n_servers,
+    _SCENARIO.n_subbands,
+    np.random.default_rng(1),
+)
+
+
+def test_objective_evaluation(benchmark):
+    """One closed-form J*(X) evaluation (the annealer's inner loop)."""
+    evaluator = ObjectiveEvaluator(_SCENARIO)
+    value = benchmark(evaluator.evaluate, _DECISION)
+    assert np.isfinite(value)
+
+
+def test_objective_breakdown(benchmark):
+    """One explicit per-user breakdown (metrics path)."""
+    evaluator = ObjectiveEvaluator(_SCENARIO)
+    breakdown = benchmark(evaluator.breakdown, _DECISION)
+    assert breakdown.allocation.shape == (50, 9)
+
+
+def test_neighborhood_proposal(benchmark):
+    """One Algorithm 2 move (copy + mutate)."""
+    sampler = NeighborhoodSampler()
+    rng = np.random.default_rng(2)
+    proposal = benchmark(sampler.propose, _DECISION, rng)
+    assert proposal.is_feasible()
+
+
+def test_kkt_allocation(benchmark):
+    """One closed-form resource allocation (Eq. 22)."""
+    allocation = benchmark(kkt_allocation, _SCENARIO, _DECISION)
+    assert allocation.shape == (50, 9)
+
+
+def test_scenario_build(benchmark):
+    """Scenario construction: placement + shadowing + derived arrays."""
+    scenario = benchmark(Scenario.build, _CONFIG, 123)
+    assert scenario.n_users == 50
+
+
+def test_decision_copy(benchmark):
+    """Decision cloning (done once per annealer proposal)."""
+    clone = benchmark(_DECISION.copy)
+    assert clone == _DECISION

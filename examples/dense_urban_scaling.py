@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Dense-urban scaling study: where does offloading congest?
+
+The paper's Fig. 4 observes that "when the user count surpasses a
+particular threshold, the system's efficiency starts to deteriorate"
+because users contend for the S*N uplink slots and for server CPU.  This
+example sweeps the user count on the 9-cell network and contrasts TSAJS
+with Greedy and AllLocal, printing the per-point utility and offload
+ratio so the congestion knee is visible in the numbers.
+
+Run:  python examples/dense_urban_scaling.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    AllLocalScheduler,
+    GreedyScheduler,
+    Scenario,
+    SimulationConfig,
+    TsajsScheduler,
+)
+from repro.core.annealing import AnnealingSchedule
+from repro.sim.metrics import solution_metrics
+from repro.sim.rng import child_rng
+
+USER_COUNTS = (5, 15, 30, 45, 60)
+SEEDS = (1, 2, 3)
+
+
+def main() -> None:
+    # A mildly shortened anneal keeps the sweep interactive (~seconds per
+    # point); pass min_temperature=1e-9 for the paper's full schedule.
+    tsajs = TsajsScheduler(schedule=AnnealingSchedule(min_temperature=1e-4))
+    schemes = [tsajs, GreedyScheduler(), AllLocalScheduler()]
+
+    header = f"{'users':>5} " + "".join(
+        f"{s.name + ' J':>14}{s.name + ' off':>14}" for s in schemes
+    )
+    print(header)
+    print("-" * len(header))
+
+    for n_users in USER_COUNTS:
+        cells = []
+        for scheme_index, scheme in enumerate(schemes):
+            utilities = []
+            offloaded = []
+            for seed in SEEDS:
+                scenario = Scenario.build(
+                    SimulationConfig(n_users=n_users, workload_megacycles=2000.0),
+                    seed=seed,
+                )
+                result = scheme.schedule(
+                    scenario, child_rng(seed, 100 + scheme_index)
+                )
+                metrics = solution_metrics(scenario, result)
+                utilities.append(metrics.system_utility)
+                offloaded.append(metrics.n_offloaded / n_users)
+            mean_j = sum(utilities) / len(utilities)
+            mean_off = sum(offloaded) / len(offloaded)
+            cells.append(f"{mean_j:>14.3f}{mean_off:>13.0%} ")
+        print(f"{n_users:>5} " + "".join(cells))
+
+    print(
+        "\nReading: utility climbs while slots are plentiful, then the\n"
+        "offload ratio falls as the 27 (server, sub-band) slots saturate.\n"
+        "TSAJS picks the best user subset for the scarce slots; Greedy's\n"
+        "fixed signal-strength rule falls behind as contention grows (run\n"
+        "with min_temperature=1e-9 for the paper's full anneal, which\n"
+        "widens the gap further)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,110 @@
+#!/usr/bin/env python
+"""Operator priorities: first responders get the edge.
+
+The paper motivates the operator weight lambda_u with an emergency
+scenario: "in emergency situations involving public safety personnel,
+such as police officers or first responders using mobile devices, it's
+crucial to assign these users a higher lambda_u value to ensure their
+tasks are given top priority" (Sec. III-B-1).
+
+This example crowds the network well past its slot capacity, marks a few
+users as first responders (lambda = 1.0 vs 0.3 for the public), and shows
+that TSAJS's weighted objective offloads the responders at a much higher
+rate than the general population.
+
+Run:  python examples/emergency_priority.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import Scenario, SimulationConfig, TsajsScheduler
+from repro.sim.rng import child_rng
+from repro.tasks.device import UserDevice
+from repro.tasks.task import Task
+
+N_USERS = 40
+N_RESPONDERS = 8
+SEEDS = (5, 6, 7, 8)
+
+
+def build_priority_scenario(
+    responder_lambda: float, public_lambda: float, seed: int
+) -> Scenario:
+    """A crowded 4-cell network with a small high-priority group."""
+    config = SimulationConfig(
+        n_users=N_USERS,
+        n_servers=4,
+        n_subbands=3,
+        workload_megacycles=2000.0,
+    )
+    base = Scenario.build(config, seed=seed)
+    task = Task(input_bits=config.input_bits, cycles=config.workload_cycles)
+    users = [
+        UserDevice(
+            task=task,
+            cpu_hz=config.user_cpu_hz,
+            tx_power_watts=config.tx_power_watts,
+            kappa=config.kappa,
+            operator_weight=(
+                responder_lambda if u < N_RESPONDERS else public_lambda
+            ),
+        )
+        for u in range(N_USERS)
+    ]
+    return Scenario(
+        users=users,
+        servers=base.servers,
+        gains=base.gains,
+        ofdma=base.ofdma,
+        noise_watts=base.noise_watts,
+        topology=base.topology,
+        user_positions=base.user_positions,
+    )
+
+
+def offload_rates(decision) -> tuple:
+    responders = np.arange(N_RESPONDERS)
+    public = np.arange(N_RESPONDERS, N_USERS)
+    responder_rate = float((decision.server[responders] >= 0).mean())
+    public_rate = float((decision.server[public] >= 0).mean())
+    return responder_rate, public_rate
+
+
+def main() -> None:
+    scheduler = TsajsScheduler()
+    print(
+        f"network: 4 cells x 3 sub-bands = 12 slots, {N_USERS} users "
+        f"({N_RESPONDERS} first responders), averaged over {len(SEEDS)} drops\n"
+    )
+    for responder_lambda, public_lambda, label in (
+        (1.0, 1.0, "flat priorities (lambda = 1.0 for everyone)"),
+        (1.0, 0.3, "emergency mode (responders 1.0, public 0.3)"),
+    ):
+        responder_rates = []
+        public_rates = []
+        utilities = []
+        for seed in SEEDS:
+            scenario = build_priority_scenario(
+                responder_lambda, public_lambda, seed
+            )
+            result = scheduler.schedule(scenario, child_rng(seed, 100))
+            responder_rate, public_rate = offload_rates(result.decision)
+            responder_rates.append(responder_rate)
+            public_rates.append(public_rate)
+            utilities.append(result.utility)
+        print(label)
+        print(f"  system utility        = {np.mean(utilities):.4f}")
+        print(f"  responders offloaded  = {np.mean(responder_rates):.0%}")
+        print(f"  public offloaded      = {np.mean(public_rates):.0%}\n")
+
+    print(
+        "Under contention, raising the responders' operator weight pulls\n"
+        "the scarce uplink slots (and KKT CPU shares, via eta_u) toward\n"
+        "them — exactly the behaviour the paper's emergency example asks for."
+    )
+
+
+if __name__ == "__main__":
+    main()

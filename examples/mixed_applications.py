@@ -1,0 +1,117 @@
+#!/usr/bin/env python
+"""Realistic application mix: who benefits from the edge?
+
+The paper concludes (Figs. 5-6) that "tasks with smaller input sizes but
+higher workloads benefit more from being offloaded to MEC servers".
+This example tests that conclusion on a *realistic* heterogeneous
+population drawn from the application catalogue
+(`repro.tasks.profiles`): face recognition, AR overlays, video
+analytics, navigation, speech-to-text and health telemetry, all sharing
+one 9-cell network.  It prints, per application class, the offload rate
+and the mean realised benefit.
+
+Run:  python examples/mixed_applications.py
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from repro import ObjectiveEvaluator, Scenario, SimulationConfig, TsajsScheduler
+from repro.core.annealing import AnnealingSchedule
+from repro.sim.rng import child_rng
+from repro.tasks.device import UserDevice
+from repro.tasks.profiles import get_profile, list_profiles
+from repro.tasks.server import MecServer
+
+USERS_PER_PROFILE = 6
+SEED = 21
+
+
+def build_mixed_scenario() -> tuple:
+    """A default network whose users each run one catalogue app."""
+    profiles = list_profiles()
+    n_users = USERS_PER_PROFILE * len(profiles)
+    config = SimulationConfig(n_users=n_users)
+    base = Scenario.build(config, seed=SEED)
+
+    rng = child_rng(SEED, 50)
+    users = []
+    owner_profile = []
+    for profile_name in profiles:
+        profile = get_profile(profile_name)
+        for _ in range(USERS_PER_PROFILE):
+            users.append(
+                UserDevice(
+                    task=profile.sample_task(rng),
+                    cpu_hz=config.user_cpu_hz,
+                    tx_power_watts=config.tx_power_watts,
+                    kappa=config.kappa,
+                )
+            )
+            owner_profile.append(profile_name)
+    scenario = Scenario(
+        users=users,
+        servers=[MecServer(cpu_hz=config.server_cpu_hz) for _ in range(config.n_servers)],
+        gains=base.gains,
+        ofdma=base.ofdma,
+        noise_watts=base.noise_watts,
+        topology=base.topology,
+        user_positions=base.user_positions,
+    )
+    return scenario, owner_profile
+
+
+def main() -> None:
+    scenario, owner_profile = build_mixed_scenario()
+    result = TsajsScheduler(
+        schedule=AnnealingSchedule(min_temperature=1e-4)
+    ).schedule(scenario, child_rng(SEED, 100))
+    breakdown = ObjectiveEvaluator(scenario).breakdown(
+        result.decision, result.allocation
+    )
+
+    print(
+        f"{scenario.n_users} users, 6 app classes, S=9, N=3 "
+        f"(27 slots) -> system utility J = {result.utility:.3f}\n"
+    )
+    by_profile = defaultdict(list)
+    for user, profile_name in enumerate(owner_profile):
+        by_profile[profile_name].append(user)
+
+    header = (
+        f"{'application':>18} {'cyc/bit':>8} {'offloaded':>9} "
+        f"{'mean J_u':>9} {'mean speedup':>12}"
+    )
+    print(header)
+    print("-" * len(header))
+    rows = []
+    for profile_name, members in by_profile.items():
+        profile = get_profile(profile_name)
+        members = np.array(members)
+        offloaded = breakdown.offloaded[members]
+        speedups = scenario.local_time_s[members] / breakdown.time_s[members]
+        rows.append(
+            (
+                profile.intensity_cycles_per_bit,
+                f"{profile_name:>18} {profile.intensity_cycles_per_bit:>8.1f} "
+                f"{offloaded.mean():>8.0%} {breakdown.utility[members].mean():>9.3f} "
+                f"{speedups.mean():>11.2f}x",
+            )
+        )
+    for _, line in sorted(rows, reverse=True):
+        print(line)
+
+    print(
+        "\nReading: classes are sorted by computational intensity (cycles\n"
+        "per input bit). The compute-bound apps at the top offload near-\n"
+        "universally with big speedups; bulky-input, light-compute apps\n"
+        "win little and are the first left local when slots run out -\n"
+        "the paper's Fig. 5/6 conclusion on a realistic mix."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Online operation: slot-by-slot scheduling with churn and outages.
+
+The paper solves one static batch of requests.  A deployed MEC controller
+re-solves that problem every scheduling epoch as users come and go, move
+around, and — occasionally — an edge server goes down.  This example runs
+the episodic wrapper for 15 slots with TSAJS and prints a per-slot
+operations log, then repeats the run with a 20 % per-slot server-outage
+rate to show the utility cost of infrastructure faults.
+
+Run:  python examples/online_arrivals.py
+"""
+
+from __future__ import annotations
+
+from repro import SimulationConfig, TsajsScheduler
+from repro.core.annealing import AnnealingSchedule
+from repro.sim.episodes import EpisodeConfig, run_episode
+
+SEED = 4
+
+
+def run_and_print(label: str, outage_probability: float) -> float:
+    config = EpisodeConfig(
+        base=SimulationConfig(n_users=0, n_servers=4, n_subbands=3),
+        pool_size=20,
+        n_slots=15,
+        activity_probability=0.6,
+        reposition_probability=0.1,
+        server_outage_probability=outage_probability,
+    )
+    scheduler = TsajsScheduler(schedule=AnnealingSchedule(min_temperature=1e-3))
+    result = run_episode(config, scheduler, seed=SEED)
+
+    print(f"{label}\n" + "-" * len(label))
+    print(f"{'slot':>4} {'active':>6} {'offloaded':>9} {'down servers':>12} {'J':>9}")
+    for record in result.slots:
+        down = ",".join(map(str, record.failed_servers)) or "-"
+        print(
+            f"{record.slot:>4} {len(record.active_users):>6} "
+            f"{record.metrics.n_offloaded:>9} {down:>12} "
+            f"{record.metrics.system_utility:>9.3f}"
+        )
+    summary = result.utility_summary()
+    print(
+        f"\nmean utility/slot = {summary.mean:.3f} "
+        f"(95% CI ±{summary.ci_halfwidth:.3f}), "
+        f"mean offload ratio = {result.offload_ratio_summary().mean:.0%}, "
+        f"outage events = {result.total_outage_slots()}\n"
+    )
+    return summary.mean
+
+
+def main() -> None:
+    healthy = run_and_print("healthy network", outage_probability=0.0)
+    degraded = run_and_print("20% per-slot server outages", outage_probability=0.2)
+    loss = 100.0 * (healthy - degraded) / healthy
+    print(
+        f"Outages cost {loss:.0f}% of the mean per-slot utility — the\n"
+        "scheduler routes around dead servers (utility never goes\n"
+        "negative) but loses the capacity they provided."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Extension study: joint offloading + uplink power control.
+
+The paper fixes every user's transmit power at 10 dBm and optimises only
+the offloading decision and CPU allocation.  This example adds the
+extension of `repro.extensions.power_control`: after TSAJS fixes the
+decision, each user's power is tuned by system-utility best response
+(more power = faster upload but more energy *and* more interference to
+co-channel users in other cells).
+
+Run:  python examples/power_control_study.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import Scenario, SimulationConfig, TsajsScheduler
+from repro.core.annealing import AnnealingSchedule
+from repro.extensions import TsajsWithPowerControl, optimize_powers
+from repro.sim.rng import child_rng
+from repro.units import watts_to_dbm
+
+SEEDS = (1, 2, 3)
+
+
+def main() -> None:
+    schedule = AnnealingSchedule(min_temperature=1e-4)
+    gains = []
+    print("per-seed results (U=20, S=9, N=3, w=2000 Mc):\n")
+    for seed in SEEDS:
+        scenario = Scenario.build(
+            SimulationConfig(n_users=20, workload_megacycles=2000.0), seed=seed
+        )
+        base = TsajsScheduler(schedule=schedule).schedule(
+            scenario, child_rng(seed, 100)
+        )
+        control = optimize_powers(scenario, base.decision)
+        gains.append(control.utility_gain)
+        offloaded = base.decision.offloaded_users()
+        tuned_dbm = [watts_to_dbm(control.powers[u]) for u in offloaded]
+        print(
+            f"seed {seed}: J {base.utility:8.4f} -> {control.utility_after:8.4f} "
+            f"(+{control.utility_gain:.4f}), "
+            f"tuned powers {min(tuned_dbm):.1f}..{max(tuned_dbm):.1f} dBm "
+            f"(paper fixes 10.0 dBm)"
+        )
+
+    print(f"\nmean utility gain from power control: +{np.mean(gains):.4f}")
+
+    # Energy-dominated population: beta_energy = 0.9 makes transmit
+    # energy expensive, so the optimum moves inside the power box.
+    print("\nenergy-heavy population (beta_time = 0.1):\n")
+    for seed in SEEDS:
+        scenario = Scenario.build(
+            SimulationConfig(
+                n_users=20, workload_megacycles=2000.0, beta_time=0.1
+            ),
+            seed=seed,
+        )
+        base = TsajsScheduler(schedule=schedule).schedule(
+            scenario, child_rng(seed, 100)
+        )
+        control = optimize_powers(scenario, base.decision)
+        offloaded = base.decision.offloaded_users()
+        tuned_dbm = [watts_to_dbm(control.powers[u]) for u in offloaded]
+        print(
+            f"seed {seed}: J {base.utility:8.4f} -> {control.utility_after:8.4f} "
+            f"(+{control.utility_gain:.4f}), "
+            f"tuned powers {min(tuned_dbm):.1f}..{max(tuned_dbm):.1f} dBm"
+        )
+
+    # Full alternation: re-optimise the decision under the new powers.
+    seed = SEEDS[0]
+    scenario = Scenario.build(
+        SimulationConfig(n_users=20, workload_megacycles=2000.0), seed=seed
+    )
+    joint = TsajsWithPowerControl(schedule=schedule, rounds=2).schedule_joint(
+        scenario, child_rng(seed, 200)
+    )
+    history = " -> ".join(f"{value:.4f}" for value in joint.utility_history)
+    print(f"\nalternating TSAJS <-> power control (seed {seed}): {history}")
+    print(
+        "\nReading: at the paper's parameters, transmit energy (tens of mJ)\n"
+        "is tiny next to local execution energy (joules), so the rate gain\n"
+        "of more power nearly always wins and users sit at or near the\n"
+        "20 dBm cap — occasionally backing off (19.1 dBm above) when their\n"
+        "interference taxes a co-channel neighbour. The systematic gain\n"
+        "over the fixed 10 dBm setting shows the paper's constant-power\n"
+        "assumption leaves measurable utility on the table."
+    )
+
+
+if __name__ == "__main__":
+    main()

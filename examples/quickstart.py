@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Quickstart: schedule one random MEC instance with TSAJS.
+
+Builds the paper's default 9-cell network with 20 users, runs the TSAJS
+scheduler, and prints the offloading plan — which user goes to which
+(server, sub-band) slot, the CPU share it receives, and the time/energy
+it saves versus local execution.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import ObjectiveEvaluator, Scenario, SimulationConfig, TsajsScheduler
+
+
+def main() -> None:
+    # 1. Describe the deployment (all other parameters take the paper's
+    #    defaults: S=9 cells, N=3 sub-bands, 20 MHz, 20 GHz servers, ...).
+    config = SimulationConfig(n_users=20, workload_megacycles=2000.0)
+
+    # 2. Draw one concrete random instance: user positions + shadowing.
+    scenario = Scenario.build(config, seed=7)
+
+    # 3. Solve.  TSAJS = threshold-triggered simulated annealing over
+    #    offloading decisions + closed-form KKT resource allocation.
+    result = TsajsScheduler().schedule(scenario, np.random.default_rng(0))
+
+    print(f"system utility J = {result.utility:.4f}")
+    print(f"offloaded users  = {result.decision.n_offloaded()}/{scenario.n_users}")
+    print(f"objective evals  = {result.evaluations}")
+    print(f"wall time        = {result.wall_time_s:.2f}s")
+    print()
+
+    # 4. Inspect the plan user by user.
+    breakdown = ObjectiveEvaluator(scenario).breakdown(
+        result.decision, result.allocation
+    )
+    header = (
+        f"{'user':>4} {'server':>6} {'band':>4} {'CPU [GHz]':>9} "
+        f"{'rate [Mbps]':>11} {'t_off [s]':>9} {'t_local [s]':>11} {'J_u':>7}"
+    )
+    print(header)
+    print("-" * len(header))
+    for user, server, band in result.decision.iter_assignments():
+        share_ghz = result.allocation[user, server] / 1e9
+        rate_mbps = breakdown.rate_bps[user] / 1e6
+        print(
+            f"{user:>4} {server:>6} {band:>4} {share_ghz:>9.2f} "
+            f"{rate_mbps:>11.2f} {breakdown.time_s[user]:>9.3f} "
+            f"{scenario.local_time_s[user]:>11.3f} {breakdown.utility[user]:>7.3f}"
+        )
+    local_users = [u for u in range(scenario.n_users) if not breakdown.offloaded[u]]
+    if local_users:
+        print(f"\nlocal users: {local_users}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+# Legacy-install shim: this environment has no network access and no
+# `wheel` package, so the PEP 517 editable path cannot build; `python
+# setup.py develop` (or pip with --no-build-isolation on newer stacks)
+# installs from pyproject metadata via setuptools directly.
+from setuptools import setup
+
+setup()

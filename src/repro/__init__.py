@@ -1,0 +1,86 @@
+"""repro — a reproduction of TSAJS (ICDCS 2025).
+
+TSAJS is an efficient multi-server joint task-scheduling scheme for mobile
+edge computing: it decomposes the joint task-offloading / resource-
+allocation MINLP into a combinatorial offloading problem — solved with
+threshold-triggered simulated annealing (TTSA) — and a convex computing-
+resource-allocation problem solved in closed form via the KKT conditions.
+
+Quickstart::
+
+    from repro import Scenario, SimulationConfig, TsajsScheduler
+
+    config = SimulationConfig(n_users=20)      # paper defaults elsewhere
+    scenario = Scenario.build(config, seed=42)
+    result = TsajsScheduler().schedule(scenario)
+    print(result.utility, result.decision.n_offloaded())
+
+See ``DESIGN.md`` for the full system inventory and ``EXPERIMENTS.md`` for
+the paper-versus-measured record of every figure.
+"""
+
+from repro.baselines import (
+    AllLocalScheduler,
+    ExhaustiveScheduler,
+    GeneticScheduler,
+    GreedyScheduler,
+    HJtoraScheduler,
+    LocalSearchScheduler,
+    RandomScheduler,
+)
+from repro.core import (
+    AnnealingSchedule,
+    NeighborhoodSampler,
+    ObjectiveEvaluator,
+    OffloadingDecision,
+    ScheduleResult,
+    ThresholdTriggeredAnnealer,
+    TsajsScheduler,
+    kkt_allocation,
+)
+from repro.extensions import (
+    DownlinkAwareEvaluator,
+    DownlinkModel,
+    TsajsWithPowerControl,
+    optimize_powers,
+)
+from repro.sim import (
+    ExperimentResult,
+    Scenario,
+    SimulationConfig,
+    SolutionMetrics,
+    run_schemes,
+    solution_metrics,
+    summarize,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AllLocalScheduler",
+    "AnnealingSchedule",
+    "DownlinkAwareEvaluator",
+    "DownlinkModel",
+    "ExhaustiveScheduler",
+    "ExperimentResult",
+    "GeneticScheduler",
+    "GreedyScheduler",
+    "HJtoraScheduler",
+    "LocalSearchScheduler",
+    "NeighborhoodSampler",
+    "ObjectiveEvaluator",
+    "OffloadingDecision",
+    "RandomScheduler",
+    "Scenario",
+    "ScheduleResult",
+    "SimulationConfig",
+    "SolutionMetrics",
+    "ThresholdTriggeredAnnealer",
+    "TsajsScheduler",
+    "TsajsWithPowerControl",
+    "kkt_allocation",
+    "optimize_powers",
+    "run_schemes",
+    "solution_metrics",
+    "summarize",
+]

@@ -1,0 +1,32 @@
+"""Baseline schedulers the paper compares TSAJS against (Sec. V).
+
+* :class:`ExhaustiveScheduler` — brute-force optimum over all feasible
+  decisions (only tractable on the Fig. 3 small network).
+* :class:`HJtoraScheduler` — the hJTORA heuristic of Tran & Pompili
+  (ref. [37]): steepest-ascent over single-user reassignments.
+* :class:`GreedyScheduler` — offload everything permissible, strongest
+  signal first.
+* :class:`LocalSearchScheduler` — first-improvement hill climbing over
+  Algorithm 2's neighbourhood.
+* :class:`GeneticScheduler` — the GA metaheuristic family the paper's
+  related work cites (ref. [33]); not part of the paper's comparison set
+  but useful as an alternative population-based search.
+* :class:`AllLocalScheduler`, :class:`RandomScheduler` — sanity anchors.
+"""
+
+from repro.baselines.exhaustive import ExhaustiveScheduler
+from repro.baselines.genetic import GeneticScheduler
+from repro.baselines.greedy import GreedyScheduler
+from repro.baselines.hjtora import HJtoraScheduler
+from repro.baselines.local_search import LocalSearchScheduler
+from repro.baselines.trivial import AllLocalScheduler, RandomScheduler
+
+__all__ = [
+    "AllLocalScheduler",
+    "ExhaustiveScheduler",
+    "GeneticScheduler",
+    "GreedyScheduler",
+    "HJtoraScheduler",
+    "LocalSearchScheduler",
+    "RandomScheduler",
+]

@@ -1,0 +1,92 @@
+"""Trivial reference policies: all-local and random-feasible.
+
+Not part of the paper's comparison set, but useful anchors: every
+sensible scheduler must beat Random and be at least as good as AllLocal
+(whose utility is exactly zero by Eq. 10/11).  The integration tests and
+ablation benches use them as floors.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+import numpy as np
+
+from repro.core.allocation import kkt_allocation
+from repro.core.decision import OffloadingDecision
+from repro.core.objective import ObjectiveEvaluator
+from repro.core.scheduler import ScheduleResult
+from repro.errors import ConfigurationError
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.sim.scenario import Scenario
+
+
+class AllLocalScheduler:
+    """Every user executes locally; system utility is exactly zero."""
+
+    name = "AllLocal"
+
+    def schedule(
+        self, scenario: "Scenario", rng: Optional[np.random.Generator] = None
+    ) -> ScheduleResult:
+        del rng
+        start = time.perf_counter()
+        evaluator = ObjectiveEvaluator(scenario)
+        decision = OffloadingDecision.all_local(
+            scenario.n_users, scenario.n_servers, scenario.n_subbands
+        )
+        utility = evaluator.evaluate(decision)
+        return ScheduleResult(
+            decision=decision,
+            allocation=kkt_allocation(scenario, decision),
+            utility=utility,
+            evaluations=evaluator.evaluations,
+            wall_time_s=time.perf_counter() - start,
+        )
+
+
+class RandomScheduler:
+    """Best of ``samples`` uniformly random feasible decisions."""
+
+    name = "Random"
+
+    def __init__(self, samples: int = 1, offload_probability: float = 0.5) -> None:
+        if samples < 1:
+            raise ConfigurationError(f"samples must be >= 1, got {samples}")
+        if not 0.0 <= offload_probability <= 1.0:
+            raise ConfigurationError(
+                f"offload_probability must lie in [0, 1], got {offload_probability}"
+            )
+        self.samples = samples
+        self.offload_probability = offload_probability
+
+    def schedule(
+        self, scenario: "Scenario", rng: Optional[np.random.Generator] = None
+    ) -> ScheduleResult:
+        rng = rng if rng is not None else np.random.default_rng()
+        start = time.perf_counter()
+        evaluator = ObjectiveEvaluator(scenario)
+        best = None
+        best_value = -np.inf
+        for _ in range(self.samples):
+            candidate = OffloadingDecision.random_feasible(
+                scenario.n_users,
+                scenario.n_servers,
+                scenario.n_subbands,
+                rng,
+                offload_probability=self.offload_probability,
+            )
+            value = evaluator.evaluate(candidate)
+            if value > best_value:
+                best, best_value = candidate, value
+        assert best is not None
+        return ScheduleResult(
+            decision=best,
+            allocation=kkt_allocation(scenario, best),
+            utility=float(best_value),
+            evaluations=evaluator.evaluations,
+            wall_time_s=time.perf_counter() - start,
+        )

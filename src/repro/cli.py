@@ -1,0 +1,222 @@
+"""Command-line interface: ``tsajs``.
+
+Sub-commands
+------------
+
+``tsajs list``
+    List all registered experiments (paper figures + ablations).
+``tsajs run <experiment-id> [--quick] [--out FILE]``
+    Run one experiment and print (and optionally save) its table.
+``tsajs solve [--users U --servers S --subbands N ...]``
+    Solve a single random instance with the selected schemes and print
+    the utilities side by side — a one-command demo of the library.
+``tsajs schemes``
+    List the scheme names accepted by ``solve --schemes``.
+``tsajs episode [--pool P --slots T --outage q ...]``
+    Run the slot-based episodic simulation (activity, mobility churn,
+    server-outage fault injection) and print the per-slot log.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro import __version__
+from repro.experiments.registry import get_experiment, list_experiments
+from repro.experiments.report import render_text
+from repro.sim.config import SimulationConfig
+from repro.sim.rng import child_rng
+from repro.sim.scenario import Scenario
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="tsajs",
+        description="TSAJS reproduction: multi-server joint task scheduling for MEC",
+    )
+    parser.add_argument("--version", action="version", version=f"tsajs {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    run_parser = sub.add_parser("run", help="run one experiment")
+    run_parser.add_argument("experiment", choices=list_experiments())
+    run_parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="use the reduced quick preset instead of paper-scale settings",
+    )
+    run_parser.add_argument(
+        "--out", metavar="FILE", help="also write the rendered table to FILE"
+    )
+    run_parser.add_argument(
+        "--json",
+        metavar="FILE",
+        help="also write the structured result (incl. raw stats) as JSON",
+    )
+
+    solve_parser = sub.add_parser("solve", help="solve one random instance")
+    solve_parser.add_argument("--users", type=int, default=20)
+    solve_parser.add_argument("--servers", type=int, default=9)
+    solve_parser.add_argument("--subbands", type=int, default=3)
+    solve_parser.add_argument("--workload-mc", type=float, default=1000.0)
+    solve_parser.add_argument("--input-kb", type=float, default=420.0)
+    solve_parser.add_argument("--seed", type=int, default=0)
+    solve_parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="stop the annealer early (T_min = 1e-2)",
+    )
+    solve_parser.add_argument(
+        "--schemes",
+        default="TSAJS,hJTORA,LocalSearch,Greedy",
+        help=(
+            "comma-separated scheme names to run "
+            "(see `tsajs schemes` for the full list)"
+        ),
+    )
+
+    sub.add_parser("schemes", help="list available scheduling schemes")
+
+    episode_parser = sub.add_parser(
+        "episode", help="run a slot-based episodic simulation"
+    )
+    episode_parser.add_argument("--pool", type=int, default=20)
+    episode_parser.add_argument("--slots", type=int, default=10)
+    episode_parser.add_argument("--servers", type=int, default=9)
+    episode_parser.add_argument("--subbands", type=int, default=3)
+    episode_parser.add_argument("--activity", type=float, default=0.6)
+    episode_parser.add_argument("--churn", type=float, default=0.05)
+    episode_parser.add_argument("--outage", type=float, default=0.0)
+    episode_parser.add_argument("--scheme", default="TSAJS")
+    episode_parser.add_argument("--seed", type=int, default=0)
+    episode_parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="stop the annealer early (T_min = 1e-2)",
+    )
+    return parser
+
+
+def _cmd_list() -> int:
+    for experiment_id in list_experiments():
+        spec = get_experiment(experiment_id)
+        print(f"{experiment_id:24s} {spec.description}")
+    return 0
+
+
+def _cmd_run(
+    experiment_id: str, quick: bool, out: Optional[str], json_out: Optional[str]
+) -> int:
+    spec = get_experiment(experiment_id)
+    output = spec.run_quick() if quick else spec.run_full()
+    text = render_text(output)
+    print(text)
+    if out:
+        with open(out, "w") as handle:
+            handle.write(text + "\n")
+        print(f"\n[written to {out}]")
+    if json_out:
+        from repro.experiments.persistence import save_output
+
+        save_output(output, json_out)
+        print(f"[structured result written to {json_out}]")
+    return 0
+
+
+def _cmd_schemes() -> int:
+    from repro.experiments.schemes import available_schemes
+
+    for name in available_schemes():
+        print(name)
+    return 0
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    from repro.experiments.schemes import build_schemes
+
+    config = SimulationConfig(
+        n_users=args.users,
+        n_servers=args.servers,
+        n_subbands=args.subbands,
+        workload_megacycles=args.workload_mc,
+        input_kb=args.input_kb,
+    )
+    scenario = Scenario.build(config, seed=args.seed)
+    print(
+        f"instance: U={args.users} S={args.servers} N={args.subbands} "
+        f"w={args.workload_mc:.0f} Mc d={args.input_kb:.0f} KB seed={args.seed}"
+    )
+    names = [name.strip() for name in args.schemes.split(",") if name.strip()]
+    for index, scheduler in enumerate(build_schemes(names, quick=args.quick)):
+        rng = child_rng(args.seed, 100 + index)
+        result = scheduler.schedule(scenario, rng)
+        print(
+            f"{scheduler.name:12s} utility={result.utility:10.4f} "
+            f"offloaded={result.decision.n_offloaded():3d}/{args.users:<3d} "
+            f"time={result.wall_time_s:7.3f}s"
+        )
+    return 0
+
+
+def _cmd_episode(args: argparse.Namespace) -> int:
+    from repro.experiments.schemes import build_schemes
+    from repro.sim.episodes import EpisodeConfig, run_episode
+
+    config = EpisodeConfig(
+        base=SimulationConfig(
+            n_users=0, n_servers=args.servers, n_subbands=args.subbands
+        ),
+        pool_size=args.pool,
+        n_slots=args.slots,
+        activity_probability=args.activity,
+        reposition_probability=args.churn,
+        server_outage_probability=args.outage,
+    )
+    scheduler = build_schemes([args.scheme], quick=args.quick)[0]
+    result = run_episode(config, scheduler, seed=args.seed)
+    print(
+        f"episode: pool={args.pool} slots={args.slots} scheme={args.scheme} "
+        f"activity={args.activity} churn={args.churn} outage={args.outage}"
+    )
+    print(f"{'slot':>4} {'active':>6} {'offloaded':>9} {'down':>6} {'J':>9}")
+    for record in result.slots:
+        down = ",".join(map(str, record.failed_servers)) or "-"
+        print(
+            f"{record.slot:>4} {len(record.active_users):>6} "
+            f"{record.metrics.n_offloaded:>9} {down:>6} "
+            f"{record.metrics.system_utility:>9.3f}"
+        )
+    summary = result.utility_summary()
+    print(
+        f"\nmean utility/slot = {summary.mean:.3f} "
+        f"(95% CI +/-{summary.ci_halfwidth:.3f}), "
+        f"offload ratio = {result.offload_ratio_summary().mean:.0%}, "
+        f"outage events = {result.total_outage_slots()}"
+    )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point (also exposed as the ``tsajs`` console script)."""
+    args = _build_parser().parse_args(argv)
+    np.seterr(all="raise", under="ignore")
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args.experiment, args.quick, args.out, args.json)
+    if args.command == "solve":
+        return _cmd_solve(args)
+    if args.command == "schemes":
+        return _cmd_schemes()
+    if args.command == "episode":
+        return _cmd_episode(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,34 @@
+"""The paper's primary contribution: TSAJS joint scheduling.
+
+* :mod:`repro.core.decision` — the offloading decision ``X`` and its
+  feasibility constraints (12b)-(12d).
+* :mod:`repro.core.allocation` — the KKT closed-form computing-resource
+  allocation (Eq. 20-23).
+* :mod:`repro.core.objective` — utility/cost evaluation (Eq. 8-11, 16-19, 24).
+* :mod:`repro.core.annealing` — the threshold-triggered simulated-annealing
+  engine (Algorithm 1's control loop).
+* :mod:`repro.core.neighborhood` — the move generator (Algorithm 2).
+* :mod:`repro.core.scheduler` — TSAJS itself: TTSA over decisions with KKT
+  allocation, returning ``(X, F, J)``.
+"""
+
+from repro.core.allocation import kkt_allocation, optimal_allocation_cost
+from repro.core.annealing import AnnealingSchedule, ThresholdTriggeredAnnealer
+from repro.core.decision import LOCAL, OffloadingDecision
+from repro.core.neighborhood import NeighborhoodSampler
+from repro.core.objective import ObjectiveEvaluator, UtilityBreakdown
+from repro.core.scheduler import ScheduleResult, TsajsScheduler
+
+__all__ = [
+    "LOCAL",
+    "AnnealingSchedule",
+    "NeighborhoodSampler",
+    "ObjectiveEvaluator",
+    "OffloadingDecision",
+    "ScheduleResult",
+    "ThresholdTriggeredAnnealer",
+    "TsajsScheduler",
+    "UtilityBreakdown",
+    "kkt_allocation",
+    "optimal_allocation_cost",
+]

@@ -1,0 +1,97 @@
+"""Computing Resource Allocation (CRA) — the KKT closed form.
+
+For a fixed offloading decision the CRA sub-problem (Eq. 20)
+
+    min_F  sum_s sum_{u in U_s} eta_u / f_us
+    s.t.   sum_{u in U_s} f_us <= f_s,   f_us > 0
+
+is convex (its Hessian is diagonal positive, Eq. 21).  The paper's Lemma
+gives the optimum in closed form:
+
+    f*_us       = f_s * sqrt(eta_u) / sum_{v in U_s} sqrt(eta_v)      (22)
+    Lambda(X,F*) = sum_s (sum_{u in U_s} sqrt(eta_u))^2 / f_s          (23)
+
+with ``eta_u = lambda_u * beta_u^time * f_u^local``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.decision import OffloadingDecision
+from repro.errors import InfeasibleAllocationError
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.sim.scenario import Scenario
+
+
+def kkt_allocation(scenario: "Scenario", decision: OffloadingDecision) -> np.ndarray:
+    """Optimal allocation matrix ``F`` with ``F[u, s] = f*_us`` (Eq. 22).
+
+    Entries are zero for users not attached to the corresponding server.
+    Each server's full capacity is split among its users proportionally to
+    ``sqrt(eta_u)``; if ``eta_u = 0`` for every attached user (pure
+    energy-preference users, ``beta_time = 0``), the execution-time term
+    vanishes from the objective and capacity is split evenly — any feasible
+    split is then optimal.
+    """
+    allocation = np.zeros((scenario.n_users, scenario.n_servers))
+    for s in range(scenario.n_servers):
+        users = decision.users_on_server(s)
+        if users.size == 0:
+            continue
+        weights = scenario.sqrt_eta[users]
+        total = weights.sum()
+        if total > 0.0:
+            allocation[users, s] = scenario.server_cpu_hz[s] * weights / total
+        else:
+            allocation[users, s] = scenario.server_cpu_hz[s] / users.size
+    return allocation
+
+
+def optimal_allocation_cost(
+    scenario: "Scenario", decision: OffloadingDecision
+) -> float:
+    """The optimal CRA objective ``Lambda(X, F*)`` (Eq. 23)."""
+    cost = 0.0
+    for s in range(scenario.n_servers):
+        users = decision.users_on_server(s)
+        if users.size == 0:
+            continue
+        root_sum = scenario.sqrt_eta[users].sum()
+        cost += root_sum**2 / scenario.server_cpu_hz[s]
+    return cost
+
+
+def allocation_cost(
+    scenario: "Scenario", decision: OffloadingDecision, allocation: np.ndarray
+) -> float:
+    """The CRA objective ``sum eta_u / f_us`` (Eq. 20a) for any allocation.
+
+    Useful for verifying that :func:`kkt_allocation` is in fact optimal.
+    Raises :class:`InfeasibleAllocationError` if the allocation violates
+    constraints (12e)-(12f) or leaves an attached user with no share.
+    """
+    allocation = np.asarray(allocation, dtype=float)
+    if allocation.shape != (scenario.n_users, scenario.n_servers):
+        raise InfeasibleAllocationError(
+            "allocation must have shape "
+            f"({scenario.n_users}, {scenario.n_servers}), got {allocation.shape}"
+        )
+    cost = 0.0
+    for s in range(scenario.n_servers):
+        users = decision.users_on_server(s)
+        used = allocation[:, s].sum()
+        if used > scenario.server_cpu_hz[s] * (1 + 1e-9):
+            raise InfeasibleAllocationError(
+                f"server {s} over-allocated: {used} > {scenario.server_cpu_hz[s]}"
+            )
+        for u in users:
+            share = allocation[u, s]
+            if share <= 0.0:
+                raise InfeasibleAllocationError(
+                    f"user {u} attached to server {s} received no CPU share"
+                )
+            cost += scenario.eta[u] / share
+    return cost

@@ -1,0 +1,222 @@
+"""Utility and cost evaluation for the JTORA problem.
+
+Two evaluation paths are provided and kept consistent (property-tested):
+
+* the **fast path** :meth:`ObjectiveEvaluator.evaluate` computes the
+  optimal-value function ``J*(X)`` of Eq. (24) directly from the closed
+  forms — ``sum lam_u (beta_t + beta_e)`` over offloaders minus the
+  communication cost ``Gamma(X)`` (first term of Eq. 19) minus the optimal
+  computation cost ``Lambda(X, F*)`` (Eq. 23).  This is the annealer's
+  inner-loop objective.
+
+* the **explicit path** :meth:`ObjectiveEvaluator.breakdown` materialises
+  the per-user delays, energies and utilities of Eq. (8)-(10) for a given
+  allocation and sums them per Eq. (11).  With the KKT allocation the two
+  paths agree exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.allocation import kkt_allocation
+from repro.core.decision import OffloadingDecision
+from repro.errors import ConfigurationError
+from repro.net.sinr import compute_link_stats
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.sim.scenario import Scenario
+
+
+@dataclass(frozen=True)
+class UtilityBreakdown:
+    """Per-user quantities realised by one (decision, allocation) pair.
+
+    All arrays have length ``U``.  For a *local* user the experienced time
+    and energy are the local-execution values and its offloading utility
+    ``J_u`` is zero (it does not participate in Eq. 11's sum because
+    ``sum_s x_us = 0``).
+
+    Attributes
+    ----------
+    system_utility:
+        ``J(X, F) = sum_u lam_u J_u`` (Eq. 11).
+    utility:
+        Per-user offloading benefit ``J_u`` (Eq. 10); zero for local users.
+    rate_bps, sinr:
+        Uplink statistics (zero for local users).
+    upload_time_s, execute_time_s:
+        Offload latency components (Eq. 5 and 7); zero for local users.
+    time_s, energy_j:
+        The completion time / energy each user actually experiences
+        (offload values if offloaded, local values otherwise).
+    offloaded:
+        Boolean mask of offloading users.
+    allocation:
+        The ``(U, S)`` CPU-share matrix used.
+    """
+
+    system_utility: float
+    utility: np.ndarray
+    rate_bps: np.ndarray
+    sinr: np.ndarray
+    upload_time_s: np.ndarray
+    execute_time_s: np.ndarray
+    time_s: np.ndarray
+    energy_j: np.ndarray
+    offloaded: np.ndarray
+    allocation: np.ndarray
+
+    @property
+    def n_offloaded(self) -> int:
+        return int(np.count_nonzero(self.offloaded))
+
+
+class ObjectiveEvaluator:
+    """Evaluates offloading decisions against one scenario.
+
+    The evaluator precomputes nothing beyond what :class:`Scenario` already
+    holds; it exists to give the schedulers a single, well-tested objective
+    implementation and to count evaluations (used by the runtime figures).
+    """
+
+    def __init__(self, scenario: "Scenario") -> None:
+        self.scenario = scenario
+        #: Number of fast-path objective evaluations performed, for the
+        #: algorithm-complexity experiments (Fig. 8).
+        self.evaluations = 0
+
+    # --- Fast path (Eq. 24) -------------------------------------------------
+
+    def evaluate_assignment(
+        self, server_of_user: np.ndarray, channel_of_user: np.ndarray
+    ) -> float:
+        """``J*(X)`` for raw assignment vectors (hot path, no validation).
+
+        Returns ``-inf`` when an offloaded user has zero achievable rate
+        (the upload would never finish, so the decision has unbounded
+        cost) — the annealer then steers away from it.
+        """
+        self.evaluations += 1
+        sc = self.scenario
+        stats = compute_link_stats(
+            sc.gains,
+            sc.tx_power_watts,
+            sc.noise_watts,
+            sc.subband_width_hz,
+            server_of_user,
+            channel_of_user,
+            validate=False,
+        )
+        offloaded = np.flatnonzero(server_of_user >= 0)
+        if offloaded.size == 0:
+            return 0.0
+        se = stats.spectral_efficiency[offloaded]
+        if np.any(se <= 0.0):
+            return float("-inf")
+
+        # Gamma(X): communication cost (first term of Eq. 19).
+        comm_weight = sc.phi[offloaded] + sc.psi[offloaded] * sc.tx_power_watts[offloaded]
+        gamma_cost = float(np.sum(comm_weight / se))
+
+        # Lambda(X, F*): optimal computation cost (Eq. 23), grouped by server.
+        root_sums = np.bincount(
+            server_of_user[offloaded],
+            weights=sc.sqrt_eta[offloaded],
+            minlength=sc.n_servers,
+        )
+        lambda_cost = float(np.sum(root_sums**2 / sc.server_cpu_hz))
+
+        # Constant gain term of Eq. (16)/(24).
+        gain = float(
+            np.sum(
+                sc.operator_weight[offloaded]
+                * (sc.beta_time[offloaded] + sc.beta_energy[offloaded])
+            )
+        )
+        return gain - gamma_cost - lambda_cost
+
+    def evaluate(self, decision: OffloadingDecision) -> float:
+        """``J*(X)`` (Eq. 24) for a decision object."""
+        return self.evaluate_assignment(decision.server, decision.channel)
+
+    # --- Explicit path (Eq. 8-11) --------------------------------------------
+
+    def breakdown(
+        self,
+        decision: OffloadingDecision,
+        allocation: Optional[np.ndarray] = None,
+    ) -> UtilityBreakdown:
+        """Materialise per-user delays, energies and utilities.
+
+        Parameters
+        ----------
+        decision:
+            The offloading decision ``X``.
+        allocation:
+            CPU-share matrix ``F``; defaults to the KKT optimum (Eq. 22).
+        """
+        sc = self.scenario
+        if allocation is None:
+            allocation = kkt_allocation(sc, decision)
+        else:
+            allocation = np.asarray(allocation, dtype=float)
+            if allocation.shape != (sc.n_users, sc.n_servers):
+                raise ConfigurationError(
+                    "allocation must have shape "
+                    f"({sc.n_users}, {sc.n_servers}), got {allocation.shape}"
+                )
+
+        stats = compute_link_stats(
+            sc.gains,
+            sc.tx_power_watts,
+            sc.noise_watts,
+            sc.subband_width_hz,
+            decision.server,
+            decision.channel,
+        )
+        n = sc.n_users
+        upload = np.zeros(n)
+        execute = np.zeros(n)
+        time_s = sc.local_time_s.copy()
+        energy = sc.local_energy_j.copy()
+        utility = np.zeros(n)
+        offloaded_mask = decision.server >= 0
+
+        for u in np.flatnonzero(offloaded_mask):
+            s = int(decision.server[u])
+            rate = stats.rate_bps[u]
+            share = allocation[u, s]
+            if rate <= 0.0:
+                upload[u] = np.inf
+            else:
+                upload[u] = sc.input_bits[u] / rate
+            if share <= 0.0:
+                execute[u] = np.inf
+            else:
+                execute[u] = sc.cycles[u] / share
+            time_s[u] = upload[u] + execute[u]
+            energy[u] = sc.tx_power_watts[u] * upload[u]
+            time_saving = (sc.local_time_s[u] - time_s[u]) / sc.local_time_s[u]
+            energy_saving = (sc.local_energy_j[u] - energy[u]) / sc.local_energy_j[u]
+            utility[u] = (
+                sc.beta_time[u] * time_saving + sc.beta_energy[u] * energy_saving
+            )
+
+        system_utility = float(np.sum(sc.operator_weight * utility))
+        return UtilityBreakdown(
+            system_utility=system_utility,
+            utility=utility,
+            rate_bps=stats.rate_bps,
+            sinr=stats.sinr,
+            upload_time_s=upload,
+            execute_time_s=execute,
+            time_s=time_s,
+            energy_j=energy,
+            offloaded=offloaded_mask,
+            allocation=allocation,
+        )

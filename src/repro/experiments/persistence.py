@@ -1,0 +1,105 @@
+"""JSON persistence for experiment outputs.
+
+Experiment results carry :class:`~repro.sim.stats.SummaryStats` values
+nested inside their ``raw`` payload; this module round-trips the whole
+:class:`~repro.experiments.report.ExperimentOutput` through JSON so runs
+can be archived, diffed across commits, and re-rendered without re-running
+the (potentially hours-long) sweeps.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Union
+
+from repro.errors import ConfigurationError
+from repro.experiments.report import ExperimentOutput
+from repro.sim.stats import SummaryStats
+
+#: Tag marking an encoded SummaryStats object inside the JSON tree.
+_STATS_TAG = "__summary_stats__"
+
+#: Schema version written into every file (bump on format changes).
+FORMAT_VERSION = 1
+
+
+def _encode(value: Any) -> Any:
+    """Recursively convert raw payloads into JSON-compatible values."""
+    if isinstance(value, SummaryStats):
+        return {
+            _STATS_TAG: {
+                "mean": value.mean,
+                "std": value.std,
+                "ci_halfwidth": value.ci_halfwidth,
+                "n": value.n,
+                "confidence": value.confidence,
+            }
+        }
+    if isinstance(value, dict):
+        return {str(key): _encode(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_encode(item) for item in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    raise ConfigurationError(
+        f"cannot serialize value of type {type(value).__name__} to JSON"
+    )
+
+
+def _decode(value: Any) -> Any:
+    """Inverse of :func:`_encode`."""
+    if isinstance(value, dict):
+        if set(value.keys()) == {_STATS_TAG}:
+            fields = value[_STATS_TAG]
+            return SummaryStats(
+                mean=float(fields["mean"]),
+                std=float(fields["std"]),
+                ci_halfwidth=float(fields["ci_halfwidth"]),
+                n=int(fields["n"]),
+                confidence=float(fields["confidence"]),
+            )
+        return {key: _decode(item) for key, item in value.items()}
+    if isinstance(value, list):
+        return [_decode(item) for item in value]
+    return value
+
+
+def output_to_dict(output: ExperimentOutput) -> dict:
+    """Plain-dict representation of an :class:`ExperimentOutput`."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "experiment_id": output.experiment_id,
+        "title": output.title,
+        "headers": list(output.headers),
+        "rows": [list(row) for row in output.rows],
+        "raw": _encode(output.raw),
+    }
+
+
+def output_from_dict(payload: dict) -> ExperimentOutput:
+    """Rebuild an :class:`ExperimentOutput` from :func:`output_to_dict`."""
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ConfigurationError(
+            f"unsupported experiment-output format version: {version!r}"
+        )
+    return ExperimentOutput(
+        experiment_id=payload["experiment_id"],
+        title=payload["title"],
+        headers=list(payload["headers"]),
+        rows=[list(row) for row in payload["rows"]],
+        raw=_decode(payload["raw"]),
+    )
+
+
+def save_output(output: ExperimentOutput, path: Union[str, Path]) -> None:
+    """Write an experiment output to ``path`` as indented JSON."""
+    path = Path(path)
+    path.write_text(json.dumps(output_to_dict(output), indent=2) + "\n")
+
+
+def load_output(path: Union[str, Path]) -> ExperimentOutput:
+    """Read an experiment output previously written by :func:`save_output`."""
+    payload = json.loads(Path(path).read_text())
+    return output_from_dict(payload)

@@ -1,0 +1,69 @@
+"""Tabular output for experiment drivers.
+
+The paper reports its evaluation as figures; the reproduction renders the
+same series as ASCII tables — one row per x-axis point, one column per
+scheme — so the trends ("who wins, by roughly what factor, where the
+crossovers fall") can be read directly from a terminal or a benchmark log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence
+
+from repro.sim.stats import SummaryStats
+
+
+@dataclass
+class ExperimentOutput:
+    """Structured result of one experiment driver.
+
+    Attributes
+    ----------
+    experiment_id:
+        Stable id, e.g. ``"fig3"``.
+    title:
+        Human-readable description (paper figure reference).
+    headers:
+        Column names for the rendered table.
+    rows:
+        Pre-formatted table cells, one list per row.
+    raw:
+        Machine-readable results keyed by series name — what tests and
+        EXPERIMENTS.md assertions consume.
+    """
+
+    experiment_id: str
+    title: str
+    headers: List[str]
+    rows: List[List[str]]
+    raw: Dict[str, Any] = field(default_factory=dict)
+
+
+def format_stat(stat: SummaryStats, precision: int = 4) -> str:
+    """``mean ± halfwidth`` with the paper's 95 % CI convention."""
+    return f"{stat.mean:.{precision}f} ±{stat.ci_halfwidth:.{precision}f}"
+
+
+def format_float(value: float, precision: int = 4) -> str:
+    return f"{value:.{precision}f}"
+
+
+def render_text(output: ExperimentOutput) -> str:
+    """Render an :class:`ExperimentOutput` as an aligned ASCII table."""
+    table: List[Sequence[str]] = [output.headers, *output.rows]
+    widths = [
+        max(len(str(row[col])) for row in table)
+        for col in range(len(output.headers))
+    ]
+    lines = [output.title, "=" * len(output.title)]
+    header = "  ".join(
+        str(cell).ljust(width) for cell, width in zip(output.headers, widths)
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in output.rows:
+        lines.append(
+            "  ".join(str(cell).ljust(width) for cell, width in zip(row, widths))
+        )
+    return "\n".join(lines)

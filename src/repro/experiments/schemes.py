@@ -1,0 +1,73 @@
+"""Name-to-scheduler registry for the CLI and user scripts.
+
+Maps the scheme names used throughout the paper (and this library's
+extensions) to constructor callables, with a ``quick`` knob for the
+annealer-based schemes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.baselines import (
+    AllLocalScheduler,
+    ExhaustiveScheduler,
+    GeneticScheduler,
+    GreedyScheduler,
+    HJtoraScheduler,
+    LocalSearchScheduler,
+    RandomScheduler,
+)
+from repro.core.annealing import AnnealingSchedule
+from repro.core.scheduler import Scheduler, TsajsScheduler
+from repro.errors import ConfigurationError
+from repro.extensions.power_control import TsajsWithPowerControl
+
+#: Stop temperature used by annealer-based schemes in quick mode.
+QUICK_MIN_TEMPERATURE = 1e-2
+
+
+def _annealing(quick: bool) -> AnnealingSchedule:
+    return AnnealingSchedule(
+        min_temperature=QUICK_MIN_TEMPERATURE if quick else 1e-9
+    )
+
+
+#: Scheme name -> factory taking the quick flag.
+SCHEME_FACTORIES: Dict[str, Callable[[bool], Scheduler]] = {
+    "TSAJS": lambda quick: TsajsScheduler(schedule=_annealing(quick)),
+    "hJTORA": lambda quick: HJtoraScheduler(),
+    "LocalSearch": lambda quick: LocalSearchScheduler(),
+    "Greedy": lambda quick: GreedyScheduler(),
+    "Exhaustive": lambda quick: ExhaustiveScheduler(),
+    "GA": lambda quick: GeneticScheduler(
+        generations=20 if quick else 80
+    ),
+    "TSAJS-PC": lambda quick: TsajsWithPowerControl(schedule=_annealing(quick)),
+    "AllLocal": lambda quick: AllLocalScheduler(),
+    "Random": lambda quick: RandomScheduler(samples=10),
+}
+
+
+def available_schemes() -> List[str]:
+    """All registered scheme names, in display order."""
+    return list(SCHEME_FACTORIES.keys())
+
+
+def build_schemes(names: List[str], quick: bool = False) -> List[Scheduler]:
+    """Instantiate schedulers for the given scheme names.
+
+    Raises :class:`ConfigurationError` for unknown or duplicate names.
+    """
+    if len(set(names)) != len(names):
+        raise ConfigurationError(f"duplicate scheme names: {names}")
+    schedulers = []
+    for name in names:
+        try:
+            factory = SCHEME_FACTORIES[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown scheme {name!r}; available: {', '.join(available_schemes())}"
+            ) from None
+        schedulers.append(factory(quick))
+    return schedulers

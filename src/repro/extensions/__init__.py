@@ -1,0 +1,36 @@
+"""Extensions beyond the paper's core evaluation.
+
+The paper sketches two directions this package implements:
+
+* **Downlink awareness** (Sec. III-A-2): "if the downlink latency becomes
+  significant, our algorithm can still adapt by taking into account the
+  actual downlink rate and the output data size" —
+  :mod:`repro.extensions.downlink`.
+* **Uplink power optimisation** (Sec. IV): "we're not focusing on the
+  optimization of uplink power allocation" — the natural next step,
+  best-response power control on top of a fixed offloading decision —
+  :mod:`repro.extensions.power_control`.
+* **Partial offloading** (related work, ref. [30]): bit-level divisible
+  tasks with concurrent local/remote execution, solved in closed form on
+  top of any full-offload decision — :mod:`repro.extensions.partial`.
+"""
+
+from repro.extensions.downlink import DownlinkAwareEvaluator, DownlinkModel
+from repro.extensions.partial import PartialOffloadResult, optimal_fractions
+from repro.extensions.power_control import (
+    PowerControlResult,
+    TsajsWithPowerControl,
+    optimize_powers,
+    scenario_with_powers,
+)
+
+__all__ = [
+    "DownlinkAwareEvaluator",
+    "DownlinkModel",
+    "PartialOffloadResult",
+    "PowerControlResult",
+    "TsajsWithPowerControl",
+    "optimal_fractions",
+    "optimize_powers",
+    "scenario_with_powers",
+]

@@ -1,0 +1,161 @@
+"""Partial (bit-level divisible) offloading extension.
+
+The paper's task model is atomic — "a singular, non-divisible
+computational assignment" (Sec. III-A-1) — but its related work surveys
+partial offloading, where a task "can be arbitrarily partitioned at the
+bit level" (ref. [30]).  This extension quantifies what atomicity costs.
+
+Model (standard data-partition formulation): user ``u`` offloads a
+fraction ``rho`` of its task — uploading ``rho * d_u`` bits and executing
+``rho * w_u`` cycles remotely — while the remaining ``(1 - rho) * w_u``
+cycles run *concurrently* on the local CPU:
+
+* completion time ``t(rho) = max((1-rho) t_local, rho * C_u)`` with
+  ``C_u = d_u / R_u + w_u / f_us`` (the full-offload round trip),
+* device energy ``E(rho) = (1-rho) E_local + rho * p_u d_u / R_u``,
+* benefit ``J_u(rho)`` per Eq. (10) with these ``t`` and ``E``.
+
+For fixed rates and CPU shares, ``t(rho)`` is a maximum of two affine
+functions — convex piecewise-linear — and ``E(rho)`` is affine, so
+``J_u(rho)`` is *concave piecewise-linear* in ``rho``.  Its maximum over
+``[0, 1]`` therefore sits at one of three candidates: ``rho = 0`` (stay
+local), ``rho = 1`` (the paper's atomic offload), or the kink
+``rho_hat = t_local / (t_local + C_u)`` where local and remote parts
+finish simultaneously.  :func:`optimal_fractions` evaluates the three
+candidates in closed form — no numeric search.
+
+Resource allocation keeps the paper's KKT split (Eq. 22) computed for
+the offloading set: the split is optimal for the full-offload objective
+and remains feasible here; re-deriving the joint (rho, F) optimum is out
+of scope and documented as a simplification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.allocation import kkt_allocation
+from repro.core.decision import OffloadingDecision
+from repro.errors import ConfigurationError
+from repro.net.sinr import compute_link_stats
+from repro.sim.scenario import Scenario
+
+
+@dataclass(frozen=True)
+class PartialOffloadResult:
+    """Optimal per-user offload fractions for a fixed decision.
+
+    Attributes
+    ----------
+    fractions:
+        ``rho_u`` per user (0 for users the decision keeps local).
+    utility:
+        Per-user benefit ``J_u(rho_u)``.
+    system_utility:
+        ``sum_u lambda_u J_u(rho_u)`` (Eq. 11 with partial execution).
+    full_offload_utility:
+        The same sum at ``rho = 1`` for every offloaded user — the
+        paper's atomic model — for direct comparison.
+    time_s, energy_j:
+        Experienced completion time / device energy per user.
+    """
+
+    fractions: np.ndarray
+    utility: np.ndarray
+    system_utility: float
+    full_offload_utility: float
+    time_s: np.ndarray
+    energy_j: np.ndarray
+
+    @property
+    def partition_gain(self) -> float:
+        """Utility gained by allowing divisible tasks."""
+        return self.system_utility - self.full_offload_utility
+
+
+def optimal_fractions(
+    scenario: Scenario,
+    decision: OffloadingDecision,
+    allocation: Optional[np.ndarray] = None,
+) -> PartialOffloadResult:
+    """Closed-form optimal offload fractions for every offloaded user.
+
+    Parameters
+    ----------
+    scenario, decision:
+        The instance and the (full-offload) slot assignment to relax.
+    allocation:
+        CPU-share matrix; defaults to the KKT optimum for ``decision``.
+    """
+    if allocation is None:
+        allocation = kkt_allocation(scenario, decision)
+    else:
+        allocation = np.asarray(allocation, dtype=float)
+        if allocation.shape != (scenario.n_users, scenario.n_servers):
+            raise ConfigurationError(
+                "allocation must have shape "
+                f"({scenario.n_users}, {scenario.n_servers}), got {allocation.shape}"
+            )
+
+    stats = compute_link_stats(
+        scenario.gains,
+        scenario.tx_power_watts,
+        scenario.noise_watts,
+        scenario.subband_width_hz,
+        decision.server,
+        decision.channel,
+    )
+
+    n = scenario.n_users
+    fractions = np.zeros(n)
+    utility = np.zeros(n)
+    time_s = scenario.local_time_s.copy()
+    energy = scenario.local_energy_j.copy()
+    full_utility_sum = 0.0
+
+    for u in decision.offloaded_users():
+        u = int(u)
+        server = int(decision.server[u])
+        rate = stats.rate_bps[u]
+        share = allocation[u, server]
+        if rate <= 0.0 or share <= 0.0:
+            # Degenerate link: partial offloading cannot help; stay local.
+            continue
+        t_local = scenario.local_time_s[u]
+        e_local = scenario.local_energy_j[u]
+        round_trip = scenario.input_bits[u] / rate + scenario.cycles[u] / share
+        tx_energy_full = (
+            scenario.tx_power_watts[u] * scenario.input_bits[u] / rate
+        )
+
+        def benefit(rho: float) -> float:
+            completion = max((1.0 - rho) * t_local, rho * round_trip)
+            device_energy = (1.0 - rho) * e_local + rho * tx_energy_full
+            return scenario.beta_time[u] * (t_local - completion) / t_local + (
+                scenario.beta_energy[u] * (e_local - device_energy) / e_local
+            )
+
+        kink = t_local / (t_local + round_trip)
+        candidates = (0.0, kink, 1.0)
+        values = [benefit(rho) for rho in candidates]
+        best = int(np.argmax(values))
+        rho_star = candidates[best]
+
+        fractions[u] = rho_star
+        utility[u] = values[best]
+        time_s[u] = max((1.0 - rho_star) * t_local, rho_star * round_trip)
+        energy[u] = (1.0 - rho_star) * e_local + rho_star * tx_energy_full
+        full_utility_sum += scenario.operator_weight[u] * benefit(1.0)
+
+    system_utility = float(np.sum(scenario.operator_weight * utility))
+    return PartialOffloadResult(
+        fractions=fractions,
+        utility=utility,
+        system_utility=system_utility,
+        full_offload_utility=float(full_utility_sum),
+        time_s=time_s,
+        energy_j=energy,
+    )

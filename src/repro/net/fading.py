@@ -1,0 +1,100 @@
+"""Small-scale (fast) fading models for robustness studies.
+
+The paper assumes "the impact of fast fading can be averaged out" over
+the long association timescale (Sec. III-A-2), so scheduling decisions
+are made on mean channel gains.  These models generate the *realised*
+per-link fading a decision would actually experience, letting the
+robustness of that assumption be quantified (see
+``repro.experiments.ext_fading``).
+
+* :class:`RayleighFading` — no line of sight: the power gain factor is
+  exponentially distributed with unit mean.
+* :class:`RicianFading` — a dominant path of relative power ``K``:
+  ``|h|^2`` with ``h ~ CN(sqrt(K/(K+1)), 1/(K+1))``, unit mean.  As
+  ``K -> inf`` the channel hardens toward the mean; ``K = 0`` reduces to
+  Rayleigh.
+
+Both draw multiplicative unit-mean factors applied to a scenario's gain
+tensor, so the *average* channel matches what the scheduler saw.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.sim.scenario import Scenario
+
+
+@dataclass(frozen=True)
+class RayleighFading:
+    """Unit-mean exponential power fading (no line of sight)."""
+
+    def sample_factors(self, shape: tuple, rng: np.random.Generator) -> np.ndarray:
+        """Multiplicative power-gain factors, i.i.d. Exp(1)."""
+        return rng.exponential(scale=1.0, size=shape)
+
+
+@dataclass(frozen=True)
+class RicianFading:
+    """Unit-mean Rician power fading with K-factor ``k_factor``.
+
+    ``k_factor`` is the linear ratio of line-of-sight to scattered
+    power; typical urban-micro values are 3-10 (5-10 dB).
+    """
+
+    k_factor: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.k_factor < 0:
+            raise ConfigurationError(
+                f"K-factor must be non-negative, got {self.k_factor}"
+            )
+
+    def sample_factors(self, shape: tuple, rng: np.random.Generator) -> np.ndarray:
+        """Multiplicative power-gain factors with unit mean."""
+        k = self.k_factor
+        los = np.sqrt(k / (k + 1.0))
+        sigma = np.sqrt(1.0 / (2.0 * (k + 1.0)))
+        real = rng.normal(los, sigma, size=shape)
+        imag = rng.normal(0.0, sigma, size=shape)
+        return real**2 + imag**2
+
+
+def faded_scenario(
+    scenario: "Scenario",
+    fading,
+    rng: np.random.Generator,
+    per_subband: bool = True,
+) -> "Scenario":
+    """A copy of ``scenario`` with one realised fading draw applied.
+
+    Parameters
+    ----------
+    fading:
+        A model exposing ``sample_factors(shape, rng)``.
+    per_subband:
+        Draw independent factors per sub-band (frequency-selective,
+        default) or one factor per link applied to all sub-bands.
+    """
+    from repro.sim.scenario import Scenario
+
+    if per_subband:
+        factors = fading.sample_factors(scenario.gains.shape, rng)
+    else:
+        link = fading.sample_factors(scenario.gains.shape[:2], rng)
+        factors = np.repeat(link[:, :, None], scenario.n_subbands, axis=2)
+    return Scenario(
+        users=scenario.users,
+        servers=scenario.servers,
+        gains=scenario.gains * factors,
+        ofdma=scenario.ofdma,
+        noise_watts=scenario.noise_watts,
+        topology=scenario.topology,
+        user_positions=scenario.user_positions,
+    )

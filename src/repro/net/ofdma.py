@@ -1,0 +1,48 @@
+"""OFDMA sub-band bookkeeping.
+
+The uplink divides the total band ``B`` into ``N`` equal sub-bands of width
+``W = B / N`` (Sec. III-A-2).  Each base station can serve at most one user
+per sub-band — constraint (12d) — so a station can theoretically serve N
+users concurrently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class OfdmaGrid:
+    """The uplink OFDMA configuration: total bandwidth and sub-band count."""
+
+    total_bandwidth_hz: float
+    n_subbands: int
+
+    def __post_init__(self) -> None:
+        if self.total_bandwidth_hz <= 0:
+            raise ConfigurationError(
+                f"total bandwidth must be positive, got {self.total_bandwidth_hz}"
+            )
+        if self.n_subbands < 1:
+            raise ConfigurationError(
+                f"need at least one sub-band, got {self.n_subbands}"
+            )
+
+    @property
+    def subband_width_hz(self) -> float:
+        """Width ``W = B / N`` of each orthogonal sub-band."""
+        return self.total_bandwidth_hz / self.n_subbands
+
+    def capacity_per_station(self) -> int:
+        """Maximum concurrent offloaders a single station can serve."""
+        return self.n_subbands
+
+    def total_capacity(self, n_stations: int) -> int:
+        """Maximum concurrent offloaders across ``n_stations`` stations."""
+        if n_stations < 0:
+            raise ConfigurationError(
+                f"n_stations must be non-negative, got {n_stations}"
+            )
+        return self.n_subbands * n_stations

@@ -1,0 +1,68 @@
+"""Path-loss and shadowing models for the uplink channel.
+
+The paper derives the uplink channel gain "from a path loss model that is
+contingent upon the distance, specifically L[dB] = 140.7 + 36.7 log10 d[km],
+with the lognormal shadowing standard deviation fixed at 8 dB" (Sec. V).
+This is the 3GPP urban-macro NLOS model also used by the reference system
+hJTORA (Tran & Pompili, ref. [37]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class UrbanMacroPathLoss:
+    """Log-distance path loss ``L[dB] = intercept + slope * log10(d_km)``.
+
+    Defaults reproduce the paper's model (140.7 + 36.7 log10 d).
+    """
+
+    intercept_db: float = 140.7
+    slope_db: float = 36.7
+
+    def loss_db(self, distance_km: np.ndarray) -> np.ndarray:
+        """Path loss in dB for distances in km (element-wise)."""
+        distances = np.asarray(distance_km, dtype=float)
+        if np.any(distances <= 0.0):
+            raise ConfigurationError(
+                "path loss is undefined for non-positive distances"
+            )
+        return self.intercept_db + self.slope_db * np.log10(distances)
+
+    def gain_linear(self, distance_km: np.ndarray) -> np.ndarray:
+        """Linear channel power gain (``10^(-L/10)``) for distances in km."""
+        return 10.0 ** (-self.loss_db(distance_km) / 10.0)
+
+
+@dataclass(frozen=True)
+class LogNormalShadowing:
+    """Zero-mean log-normal shadowing with standard deviation in dB.
+
+    The paper fixes ``sigma_db = 8``.  Samples are i.i.d. per link — the
+    user-BS association happens on a long-term scale so fast fading is
+    averaged out (Sec. III-A-2) and only the slow shadowing term remains.
+    """
+
+    sigma_db: float = 8.0
+
+    def __post_init__(self) -> None:
+        if self.sigma_db < 0:
+            raise ConfigurationError(
+                f"shadowing sigma must be non-negative, got {self.sigma_db}"
+            )
+
+    def sample_db(self, shape: tuple, rng: np.random.Generator) -> np.ndarray:
+        """Draw shadowing values in dB of the requested shape."""
+        if self.sigma_db == 0.0:
+            return np.zeros(shape)
+        return rng.normal(loc=0.0, scale=self.sigma_db, size=shape)
+
+    def sample_linear(self, shape: tuple, rng: np.random.Generator) -> np.ndarray:
+        """Draw multiplicative (linear) shadowing factors."""
+        return 10.0 ** (self.sample_db(shape, rng) / 10.0)

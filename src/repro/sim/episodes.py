@@ -1,0 +1,266 @@
+"""Episodic (slot-based) simulation on top of the static scheduler.
+
+The paper evaluates *static* offloading: one batch of requests, one
+scheduling decision.  Real MEC deployments run that loop continuously —
+"in scenarios involving static computation offloading, ... multiple users
+concurrently transmit their requests to a MEC network" (Sec. II) — so this
+module adds the natural operational wrapper a downstream user needs:
+
+* a fixed **pool** of users with persistent positions and channel gains,
+* per-slot **activity**: each pool user has a fresh task with some
+  probability (others sit the slot out),
+* per-slot **task draws** from configurable ranges,
+* optional **mobility churn**: a user occasionally moves and gets a fresh
+  channel-gain draw,
+* optional **server outages**: failure injection that collapses a
+  server's capacity for a slot, letting robustness of any scheduler be
+  measured under infrastructure faults.
+
+Every slot is solved independently by an arbitrary
+:class:`~repro.core.scheduler.Scheduler` (the paper's static problem),
+and per-slot metrics are aggregated across the episode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from repro.core.scheduler import Scheduler
+from repro.errors import ConfigurationError
+from repro.net.channel import ChannelModel
+from repro.net.ofdma import OfdmaGrid
+from repro.net.pathloss import LogNormalShadowing, UrbanMacroPathLoss
+from repro.net.topology import Topology
+from repro.sim.config import SimulationConfig
+from repro.sim.metrics import SolutionMetrics, solution_metrics
+from repro.sim.rng import child_rng
+from repro.sim.scenario import Scenario
+from repro.sim.stats import SummaryStats, summarize
+from repro.tasks.device import UserDevice
+from repro.tasks.server import MecServer
+from repro.tasks.task import Task
+
+#: Capacity of a failed server (cycles/s).  Strictly positive so the
+#: scenario stays valid, but so small that any scheduler worth its salt
+#: routes around the dead machine.
+OUTAGE_CAPACITY_HZ = 1.0
+
+
+@dataclass(frozen=True)
+class EpisodeConfig:
+    """Configuration of one episodic simulation.
+
+    Attributes
+    ----------
+    base:
+        Network/radio/compute parameters (``n_users`` is ignored; the
+        pool size below is used instead).
+    pool_size:
+        Number of persistent users in the coverage area.
+    n_slots:
+        Scheduling rounds to simulate.
+    activity_probability:
+        Chance a pool user has a task in a given slot.
+    workload_range_megacycles / input_range_kb:
+        Per-task uniform draw ranges.
+    reposition_probability:
+        Per-slot chance a user moves to a fresh uniform position (its
+        path loss and shadowing are redrawn).
+    server_outage_probability:
+        Per-slot, per-server chance of a capacity-collapse fault.
+    """
+
+    base: SimulationConfig = field(default_factory=SimulationConfig)
+    pool_size: int = 30
+    n_slots: int = 20
+    activity_probability: float = 0.6
+    workload_range_megacycles: tuple = (500.0, 3000.0)
+    input_range_kb: tuple = (100.0, 800.0)
+    reposition_probability: float = 0.05
+    server_outage_probability: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.pool_size < 1:
+            raise ConfigurationError(f"pool_size must be >= 1, got {self.pool_size}")
+        if self.n_slots < 1:
+            raise ConfigurationError(f"n_slots must be >= 1, got {self.n_slots}")
+        for name in (
+            "activity_probability",
+            "reposition_probability",
+            "server_outage_probability",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(f"{name} must lie in [0, 1], got {value}")
+        for name in ("workload_range_megacycles", "input_range_kb"):
+            low, high = getattr(self, name)
+            if not 0.0 < low <= high:
+                raise ConfigurationError(
+                    f"{name} must satisfy 0 < low <= high, got ({low}, {high})"
+                )
+
+
+@dataclass(frozen=True)
+class SlotRecord:
+    """What happened in one scheduling slot."""
+
+    slot: int
+    active_users: List[int]
+    failed_servers: List[int]
+    metrics: SolutionMetrics
+
+
+@dataclass
+class EpisodeResult:
+    """Per-slot records plus aggregate summaries."""
+
+    config: EpisodeConfig
+    scheduler_name: str
+    slots: List[SlotRecord] = field(default_factory=list)
+
+    def utilities(self) -> List[float]:
+        return [record.metrics.system_utility for record in self.slots]
+
+    def offload_ratios(self) -> List[float]:
+        ratios = []
+        for record in self.slots:
+            active = len(record.active_users)
+            ratios.append(
+                record.metrics.n_offloaded / active if active else 0.0
+            )
+        return ratios
+
+    def utility_summary(self) -> SummaryStats:
+        return summarize(self.utilities())
+
+    def offload_ratio_summary(self) -> SummaryStats:
+        return summarize(self.offload_ratios())
+
+    def total_outage_slots(self) -> int:
+        """Number of (slot, server) outage events observed."""
+        return sum(len(record.failed_servers) for record in self.slots)
+
+
+class EpisodeRunner:
+    """Drives one scheduler through an episodic workload.
+
+    RNG streams (all derived from the episode seed): 0 pool placement,
+    1 pool channel draw, 2 per-slot activity/tasks/outages, 3 mobility
+    redraws, ``1000 + slot`` the scheduler's chain for each slot.
+    """
+
+    def __init__(self, config: EpisodeConfig, scheduler: Scheduler) -> None:
+        self.config = config
+        self.scheduler = scheduler
+
+    def run(self, seed: int = 0) -> EpisodeResult:
+        """Simulate the configured number of slots; return all records."""
+        config = self.config
+        base = config.base
+        topology = Topology.hexagonal(
+            base.n_servers, base.inter_site_distance_km
+        )
+        channel = ChannelModel(
+            pathloss=UrbanMacroPathLoss(
+                intercept_db=base.pathloss_intercept_db,
+                slope_db=base.pathloss_slope_db,
+            ),
+            shadowing=LogNormalShadowing(sigma_db=base.shadowing_sigma_db),
+        )
+        placement_rng = child_rng(seed, 0)
+        channel_rng = child_rng(seed, 1)
+        slot_rng = child_rng(seed, 2)
+        mobility_rng = child_rng(seed, 3)
+
+        positions = topology.place_users(
+            config.pool_size, placement_rng, base.min_bs_distance_km
+        )
+        link_gains = channel.link_gains(topology, positions, channel_rng)
+
+        ofdma = OfdmaGrid(
+            total_bandwidth_hz=base.bandwidth_hz, n_subbands=base.n_subbands
+        )
+        result = EpisodeResult(config=config, scheduler_name=self.scheduler.name)
+
+        for slot in range(config.n_slots):
+            # Mobility churn: repositioned users get fresh gains.
+            for user in range(config.pool_size):
+                if mobility_rng.random() < config.reposition_probability:
+                    positions[user] = topology.place_users(
+                        1, mobility_rng, base.min_bs_distance_km
+                    )[0]
+                    link_gains[user] = channel.link_gains(
+                        topology, positions[user : user + 1], mobility_rng
+                    )[0]
+
+            active = [
+                user
+                for user in range(config.pool_size)
+                if slot_rng.random() < config.activity_probability
+            ]
+            failed = [
+                server
+                for server in range(base.n_servers)
+                if slot_rng.random() < config.server_outage_probability
+            ]
+
+            servers = [
+                MecServer(
+                    cpu_hz=OUTAGE_CAPACITY_HZ
+                    if server in failed
+                    else base.server_cpu_hz
+                )
+                for server in range(base.n_servers)
+            ]
+            users = []
+            for user in active:
+                workload_mc = slot_rng.uniform(*config.workload_range_megacycles)
+                input_kb = slot_rng.uniform(*config.input_range_kb)
+                users.append(
+                    UserDevice(
+                        task=Task(
+                            input_bits=input_kb * 8192.0,
+                            cycles=workload_mc * 1e6,
+                        ),
+                        cpu_hz=base.user_cpu_hz,
+                        tx_power_watts=base.tx_power_watts,
+                        kappa=base.kappa,
+                        beta_time=base.beta_time,
+                        beta_energy=base.beta_energy,
+                        operator_weight=base.operator_weight,
+                    )
+                )
+            gains = np.repeat(
+                link_gains[active][:, :, None], base.n_subbands, axis=2
+            )
+            scenario = Scenario(
+                users=users,
+                servers=servers,
+                gains=gains,
+                ofdma=ofdma,
+                noise_watts=base.noise_watts,
+                topology=topology,
+                user_positions=positions[active].copy(),
+            )
+            outcome = self.scheduler.schedule(scenario, child_rng(seed, 1000 + slot))
+            result.slots.append(
+                SlotRecord(
+                    slot=slot,
+                    active_users=active,
+                    failed_servers=failed,
+                    metrics=solution_metrics(scenario, outcome),
+                )
+            )
+        return result
+
+
+def run_episode(
+    config: EpisodeConfig,
+    scheduler: Scheduler,
+    seed: int = 0,
+) -> EpisodeResult:
+    """Convenience wrapper: ``EpisodeRunner(config, scheduler).run(seed)``."""
+    return EpisodeRunner(config, scheduler).run(seed)

@@ -1,0 +1,71 @@
+"""Solution-level metrics derived from a scheduler's output.
+
+Converts a ``(scenario, ScheduleResult)`` pair into the quantities the
+paper's figures report: system utility, average per-user completion time
+and energy (Fig. 9), offload counts and algorithm cost (Fig. 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.objective import ObjectiveEvaluator
+from repro.core.scheduler import ScheduleResult
+from repro.sim.scenario import Scenario
+
+
+@dataclass(frozen=True)
+class SolutionMetrics:
+    """Everything the evaluation figures need about one solution.
+
+    Attributes
+    ----------
+    system_utility:
+        ``J(X, F)`` (Eq. 11) under the returned allocation.
+    mean_time_s / mean_energy_j:
+        Average completion time / energy over *all* users, local users
+        contributing their local-execution values (Fig. 9's y-axes).
+    mean_offloaded_time_s / mean_offloaded_energy_j:
+        Same averages restricted to offloading users (NaN if none).
+    n_offloaded:
+        Number of users offloading.
+    evaluations:
+        Objective evaluations the scheduler spent.
+    wall_time_s:
+        Scheduler wall-clock time (Fig. 8's y-axis).
+    """
+
+    system_utility: float
+    mean_time_s: float
+    mean_energy_j: float
+    mean_offloaded_time_s: float
+    mean_offloaded_energy_j: float
+    n_offloaded: int
+    evaluations: int
+    wall_time_s: float
+
+
+def solution_metrics(scenario: Scenario, result: ScheduleResult) -> SolutionMetrics:
+    """Materialise :class:`SolutionMetrics` for one scheduling outcome."""
+    breakdown = ObjectiveEvaluator(scenario).breakdown(
+        result.decision, result.allocation
+    )
+    offloaded = breakdown.offloaded
+    if np.any(offloaded):
+        mean_off_time = float(breakdown.time_s[offloaded].mean())
+        mean_off_energy = float(breakdown.energy_j[offloaded].mean())
+    else:
+        mean_off_time = float("nan")
+        mean_off_energy = float("nan")
+    return SolutionMetrics(
+        system_utility=breakdown.system_utility,
+        mean_time_s=float(breakdown.time_s.mean()) if scenario.n_users else 0.0,
+        mean_energy_j=float(breakdown.energy_j.mean()) if scenario.n_users else 0.0,
+        mean_offloaded_time_s=mean_off_time,
+        mean_offloaded_energy_j=mean_off_energy,
+        n_offloaded=breakdown.n_offloaded,
+        evaluations=result.evaluations,
+        wall_time_s=result.wall_time_s,
+    )

@@ -1,0 +1,219 @@
+"""A concrete simulated MEC system instance.
+
+``Scenario`` bundles everything the schedulers need: the user population,
+the MEC servers, the channel-gain tensor drawn for one random user drop,
+and the OFDMA/noise parameters.  It also precomputes the per-user constants
+of Sec. IV — ``t_local``, ``E_local`` and the coefficients
+
+* ``phi_u = lambda_u beta_t d_u / (t_local W)``
+* ``psi_u = lambda_u beta_e d_u / (E_local W)``
+* ``eta_u = lambda_u beta_t f_local``
+
+used by the closed-form objective (Eq. 19 and 22-24) — so that objective
+evaluation inside the annealer is pure vectorised numpy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.net.channel import ChannelModel
+from repro.net.ofdma import OfdmaGrid
+from repro.net.pathloss import LogNormalShadowing, UrbanMacroPathLoss
+from repro.net.topology import Topology
+from repro.sim.config import SimulationConfig
+from repro.sim.rng import child_rng
+from repro.tasks.device import UserDevice
+from repro.tasks.server import MecServer
+from repro.tasks.workload import uniform_population
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One fully-instantiated multi-user multi-server MEC system.
+
+    Construct via :meth:`build` (from a :class:`SimulationConfig` and a
+    seed) or :meth:`from_parts` (explicit components, used heavily by
+    tests).  All the numpy attributes are derived and read-only.
+    """
+
+    users: List[UserDevice]
+    servers: List[MecServer]
+    gains: np.ndarray  # (U, S, N) channel power gains h[u, s, j]
+    ofdma: OfdmaGrid
+    noise_watts: float
+    topology: Optional[Topology] = None
+    user_positions: Optional[np.ndarray] = None
+
+    # Derived arrays (filled in __post_init__).
+    input_bits: np.ndarray = field(init=False, repr=False)
+    cycles: np.ndarray = field(init=False, repr=False)
+    user_cpu_hz: np.ndarray = field(init=False, repr=False)
+    tx_power_watts: np.ndarray = field(init=False, repr=False)
+    local_time_s: np.ndarray = field(init=False, repr=False)
+    local_energy_j: np.ndarray = field(init=False, repr=False)
+    beta_time: np.ndarray = field(init=False, repr=False)
+    beta_energy: np.ndarray = field(init=False, repr=False)
+    operator_weight: np.ndarray = field(init=False, repr=False)
+    server_cpu_hz: np.ndarray = field(init=False, repr=False)
+    phi: np.ndarray = field(init=False, repr=False)
+    psi: np.ndarray = field(init=False, repr=False)
+    eta: np.ndarray = field(init=False, repr=False)
+    sqrt_eta: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        gains = np.asarray(self.gains, dtype=float)
+        n_users = len(self.users)
+        n_servers = len(self.servers)
+        if gains.shape != (n_users, n_servers, self.ofdma.n_subbands):
+            raise ConfigurationError(
+                "gains shape mismatch: expected "
+                f"({n_users}, {n_servers}, {self.ofdma.n_subbands}), got {gains.shape}"
+            )
+        if np.any(gains <= 0.0):
+            raise ConfigurationError("channel gains must be strictly positive")
+        if self.noise_watts <= 0.0:
+            raise ConfigurationError(
+                f"noise power must be positive, got {self.noise_watts}"
+            )
+        object.__setattr__(self, "gains", gains)
+
+        def arr(values: Sequence[float]) -> np.ndarray:
+            return np.array(values, dtype=float)
+
+        object.__setattr__(self, "input_bits", arr([u.task.input_bits for u in self.users]))
+        object.__setattr__(self, "cycles", arr([u.task.cycles for u in self.users]))
+        object.__setattr__(self, "user_cpu_hz", arr([u.cpu_hz for u in self.users]))
+        object.__setattr__(
+            self, "tx_power_watts", arr([u.tx_power_watts for u in self.users])
+        )
+        object.__setattr__(self, "local_time_s", arr([u.local_time_s for u in self.users]))
+        object.__setattr__(
+            self, "local_energy_j", arr([u.local_energy_j for u in self.users])
+        )
+        object.__setattr__(self, "beta_time", arr([u.beta_time for u in self.users]))
+        object.__setattr__(self, "beta_energy", arr([u.beta_energy for u in self.users]))
+        object.__setattr__(
+            self, "operator_weight", arr([u.operator_weight for u in self.users])
+        )
+        object.__setattr__(self, "server_cpu_hz", arr([s.cpu_hz for s in self.servers]))
+
+        subband_w = self.ofdma.subband_width_hz
+        lam = self.operator_weight
+        if n_users:
+            phi = lam * self.beta_time * self.input_bits / (self.local_time_s * subband_w)
+            psi = lam * self.beta_energy * self.input_bits / (
+                self.local_energy_j * subband_w
+            )
+            eta = lam * self.beta_time * self.user_cpu_hz
+        else:
+            phi = np.zeros(0)
+            psi = np.zeros(0)
+            eta = np.zeros(0)
+        object.__setattr__(self, "phi", phi)
+        object.__setattr__(self, "psi", psi)
+        object.__setattr__(self, "eta", eta)
+        object.__setattr__(self, "sqrt_eta", np.sqrt(eta))
+
+    # --- Shape helpers ----------------------------------------------------
+
+    @property
+    def n_users(self) -> int:
+        return len(self.users)
+
+    @property
+    def n_servers(self) -> int:
+        return len(self.servers)
+
+    @property
+    def n_subbands(self) -> int:
+        return self.ofdma.n_subbands
+
+    @property
+    def subband_width_hz(self) -> float:
+        return self.ofdma.subband_width_hz
+
+    @property
+    def max_offloaders(self) -> int:
+        """System-wide slot capacity ``S * N`` (constraint 12d)."""
+        return self.n_servers * self.n_subbands
+
+    # --- Construction -----------------------------------------------------
+
+    @classmethod
+    def build(cls, config: SimulationConfig, seed: int = 0) -> "Scenario":
+        """Draw one random instance (user drop + shadowing) of ``config``.
+
+        Stream 0 of ``seed`` drives user placement, stream 1 the shadowing
+        draw, so the two are independent and individually reproducible.
+        """
+        topology = Topology.hexagonal(
+            config.n_servers, config.inter_site_distance_km
+        )
+        placement_rng = child_rng(seed, 0)
+        channel_rng = child_rng(seed, 1)
+        user_positions = topology.place_users(
+            config.n_users, placement_rng, config.min_bs_distance_km
+        )
+        channel = ChannelModel(
+            pathloss=UrbanMacroPathLoss(
+                intercept_db=config.pathloss_intercept_db,
+                slope_db=config.pathloss_slope_db,
+            ),
+            shadowing=LogNormalShadowing(sigma_db=config.shadowing_sigma_db),
+        )
+        gains = channel.gains(
+            topology, user_positions, config.n_subbands, channel_rng
+        )
+        users = uniform_population(
+            n_users=config.n_users,
+            input_bits=config.input_bits,
+            cycles=config.workload_cycles,
+            cpu_hz=config.user_cpu_hz,
+            tx_power_watts=config.tx_power_watts,
+            kappa=config.kappa,
+            beta_time=config.beta_time,
+            operator_weight=config.operator_weight,
+        )
+        servers = [MecServer(cpu_hz=config.server_cpu_hz) for _ in range(config.n_servers)]
+        return cls(
+            users=users,
+            servers=servers,
+            gains=gains,
+            ofdma=OfdmaGrid(
+                total_bandwidth_hz=config.bandwidth_hz,
+                n_subbands=config.n_subbands,
+            ),
+            noise_watts=config.noise_watts,
+            topology=topology,
+            user_positions=user_positions,
+        )
+
+    @classmethod
+    def from_parts(
+        cls,
+        users: List[UserDevice],
+        servers: List[MecServer],
+        gains: np.ndarray,
+        total_bandwidth_hz: float,
+        noise_watts: float,
+    ) -> "Scenario":
+        """Assemble a scenario from explicit components (no randomness)."""
+        gains = np.asarray(gains, dtype=float)
+        if gains.ndim != 3:
+            raise ConfigurationError(
+                f"gains must have shape (U, S, N), got {gains.shape}"
+            )
+        return cls(
+            users=users,
+            servers=servers,
+            gains=gains,
+            ofdma=OfdmaGrid(
+                total_bandwidth_hz=total_bandwidth_hz, n_subbands=gains.shape[2]
+            ),
+            noise_watts=noise_watts,
+        )

@@ -1,0 +1,87 @@
+"""End-to-end feasibility validation of a scheduling outcome.
+
+Checks every constraint of problem (12) against a concrete
+``(scenario, decision, allocation)`` triple.  Schedulers maintain these
+invariants by construction; this module re-derives them from scratch so
+tests (and paranoid callers) can verify any result independently.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.decision import OffloadingDecision
+from repro.core.scheduler import ScheduleResult
+from repro.errors import InfeasibleAllocationError, InfeasibleDecisionError
+from repro.sim.scenario import Scenario
+
+#: Relative tolerance for the capacity constraint (12f).
+_CAPACITY_RTOL = 1e-9
+
+
+def validate_decision(scenario: Scenario, decision: OffloadingDecision) -> None:
+    """Raise unless ``decision`` satisfies constraints (12b)-(12d)."""
+    if (
+        decision.n_users != scenario.n_users
+        or decision.n_servers != scenario.n_servers
+        or decision.n_channels != scenario.n_subbands
+    ):
+        raise InfeasibleDecisionError(
+            "decision dimensions do not match the scenario: "
+            f"({decision.n_users}, {decision.n_servers}, {decision.n_channels}) vs "
+            f"({scenario.n_users}, {scenario.n_servers}, {scenario.n_subbands})"
+        )
+    dense = decision.to_dense()
+    # (12b) binary is structural in to_dense; (12c) one slot per user:
+    if np.any(dense.reshape(scenario.n_users, -1).sum(axis=1) > 1):
+        raise InfeasibleDecisionError("a user holds multiple slots (12c)")
+    # (12d) one user per slot:
+    if np.any(dense.sum(axis=0) > 1):
+        raise InfeasibleDecisionError("a slot holds multiple users (12d)")
+
+
+def validate_allocation(
+    scenario: Scenario, decision: OffloadingDecision, allocation: np.ndarray
+) -> None:
+    """Raise unless ``allocation`` satisfies constraints (12e)-(12f)."""
+    allocation = np.asarray(allocation, dtype=float)
+    if allocation.shape != (scenario.n_users, scenario.n_servers):
+        raise InfeasibleAllocationError(
+            "allocation must have shape "
+            f"({scenario.n_users}, {scenario.n_servers}), got {allocation.shape}"
+        )
+    if np.any(allocation < 0.0):
+        raise InfeasibleAllocationError("negative CPU share")
+    for s in range(scenario.n_servers):
+        capacity = scenario.server_cpu_hz[s]
+        used = float(allocation[:, s].sum())
+        if used > capacity * (1.0 + _CAPACITY_RTOL):
+            raise InfeasibleAllocationError(
+                f"server {s} over-allocated: {used} > {capacity} (12f)"
+            )
+        for u in range(scenario.n_users):
+            attached = decision.server[u] == s
+            share = allocation[u, s]
+            if attached and share <= 0.0:
+                raise InfeasibleAllocationError(
+                    f"user {u} attached to server {s} has no CPU share (12e)"
+                )
+            if not attached and share != 0.0:
+                raise InfeasibleAllocationError(
+                    f"user {u} not attached to server {s} but has share {share}"
+                )
+
+
+def validate_result(scenario: Scenario, result: ScheduleResult) -> None:
+    """Validate a full scheduler outcome (decision + allocation)."""
+    validate_decision(scenario, result.decision)
+    validate_allocation(scenario, result.decision, result.allocation)
+
+
+def is_feasible_result(scenario: Scenario, result: ScheduleResult) -> bool:
+    """Boolean convenience wrapper around :func:`validate_result`."""
+    try:
+        validate_result(scenario, result)
+    except (InfeasibleDecisionError, InfeasibleAllocationError):
+        return False
+    return True

@@ -1,0 +1,25 @@
+"""Task, user-device and MEC-server models (Sec. III-A of the paper)."""
+
+from repro.tasks.device import UserDevice
+from repro.tasks.profiles import PROFILES, TaskProfile, get_profile, list_profiles, mixed_profile_tasks
+from repro.tasks.server import MecServer
+from repro.tasks.task import Task
+from repro.tasks.workload import (
+    WorkloadSpec,
+    uniform_population,
+    heterogeneous_population,
+)
+
+__all__ = [
+    "MecServer",
+    "PROFILES",
+    "Task",
+    "TaskProfile",
+    "UserDevice",
+    "WorkloadSpec",
+    "get_profile",
+    "heterogeneous_population",
+    "list_profiles",
+    "mixed_profile_tasks",
+    "uniform_population",
+]

@@ -1,0 +1,83 @@
+"""The mobile user device model (Sec. III-A-1 and III-A-4).
+
+A device bundles its local CPU, transmit power, energy coefficient and the
+QoE preference weights ``beta_time`` / ``beta_energy`` (which must sum to 1)
+together with the operator preference ``lambda_u``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.tasks.task import Task
+
+#: Tolerance for the ``beta_time + beta_energy == 1`` requirement.
+_BETA_SUM_TOL = 1e-9
+
+
+@dataclass(frozen=True)
+class UserDevice:
+    """A resource-limited mobile user with one offloadable task.
+
+    Attributes
+    ----------
+    task:
+        The user's atomic computation task ``T_u``.
+    cpu_hz:
+        Local processing power ``f_u^local`` in cycles/s.
+    tx_power_watts:
+        Constant uplink transmit power ``p_u``.
+    kappa:
+        Chip-dependent energy coefficient in ``E = kappa f^2 w`` (Eq. 1).
+    beta_time:
+        Preference weight for task-completion speed (``beta_u^time``).
+    beta_energy:
+        Preference weight for energy saving (``beta_u^energy``).
+    operator_weight:
+        Service-provider preference ``lambda_u`` in (0, 1].
+    """
+
+    task: Task
+    cpu_hz: float
+    tx_power_watts: float
+    kappa: float
+    beta_time: float = 0.5
+    beta_energy: float = 0.5
+    operator_weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.cpu_hz <= 0:
+            raise ConfigurationError(
+                f"local CPU frequency must be positive, got {self.cpu_hz}"
+            )
+        if self.tx_power_watts <= 0:
+            raise ConfigurationError(
+                f"transmit power must be positive, got {self.tx_power_watts}"
+            )
+        if self.kappa <= 0:
+            raise ConfigurationError(f"kappa must be positive, got {self.kappa}")
+        if not (0.0 <= self.beta_time <= 1.0 and 0.0 <= self.beta_energy <= 1.0):
+            raise ConfigurationError(
+                "preference weights must lie in [0, 1], got "
+                f"beta_time={self.beta_time}, beta_energy={self.beta_energy}"
+            )
+        if abs(self.beta_time + self.beta_energy - 1.0) > _BETA_SUM_TOL:
+            raise ConfigurationError(
+                "beta_time + beta_energy must equal 1, got "
+                f"{self.beta_time} + {self.beta_energy}"
+            )
+        if not (0.0 < self.operator_weight <= 1.0):
+            raise ConfigurationError(
+                f"operator weight must lie in (0, 1], got {self.operator_weight}"
+            )
+
+    @property
+    def local_time_s(self) -> float:
+        """``t_u^local`` — local completion time of the user's task."""
+        return self.task.local_time_s(self.cpu_hz)
+
+    @property
+    def local_energy_j(self) -> float:
+        """``E_u^local`` — local execution energy (Eq. 1)."""
+        return self.task.local_energy_j(self.cpu_hz, self.kappa)

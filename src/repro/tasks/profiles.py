@@ -1,0 +1,165 @@
+"""Named application task profiles from the MEC literature.
+
+The paper motivates MEC with concrete application classes — "traffic
+management in smart cities, real-time monitoring in industrial
+production, interactive classrooms in remote education, and immersive
+virtual reality experiences" (Sec. I) — but evaluates a single synthetic
+task shape (420 KB, 1000 Megacycles).  This catalogue provides
+representative ``<d_u, w_u>`` pairs for those application classes so
+examples and episodic workloads can exercise realistic heterogeneity.
+
+Magnitudes follow the measurement literature the paper builds on
+(Miettinen & Nurminen, ref. [38], and the profiling numbers commonly
+used in MEC evaluations): interactive apps ship small inputs with
+moderate compute; analytics apps ship bulky frames; compute-bound apps
+(e.g. model inference) are cycle-heavy relative to their input.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.tasks.task import Task
+from repro.units import kb_to_bits, megacycles_to_cycles
+
+
+@dataclass(frozen=True)
+class TaskProfile:
+    """A named application task class.
+
+    ``input_kb`` / ``megacycles`` are central values; ``spread`` is the
+    relative half-width of the uniform draw around them (0.2 = ±20 %).
+    """
+
+    name: str
+    description: str
+    input_kb: float
+    megacycles: float
+    spread: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.input_kb <= 0 or self.megacycles <= 0:
+            raise ConfigurationError(
+                f"profile {self.name!r} needs positive input/compute sizes"
+            )
+        if not 0.0 <= self.spread < 1.0:
+            raise ConfigurationError(
+                f"profile {self.name!r} spread must lie in [0, 1), got {self.spread}"
+            )
+
+    @property
+    def intensity_cycles_per_bit(self) -> float:
+        """Computational intensity ``w_u / d_u`` — the offloading
+        friendliness metric behind the paper's Fig. 5/6 conclusion."""
+        return megacycles_to_cycles(self.megacycles) / kb_to_bits(self.input_kb)
+
+    def sample_task(self, rng: Optional[np.random.Generator] = None) -> Task:
+        """Draw one task uniformly within the profile's spread."""
+        rng = rng if rng is not None else np.random.default_rng()
+        low, high = 1.0 - self.spread, 1.0 + self.spread
+        return Task(
+            input_bits=kb_to_bits(self.input_kb) * rng.uniform(low, high),
+            cycles=megacycles_to_cycles(self.megacycles) * rng.uniform(low, high),
+        )
+
+    def nominal_task(self) -> Task:
+        """The profile's central task (no randomness)."""
+        return Task(
+            input_bits=kb_to_bits(self.input_kb),
+            cycles=megacycles_to_cycles(self.megacycles),
+        )
+
+
+#: The built-in catalogue, keyed by profile name.
+PROFILES: Dict[str, TaskProfile] = {
+    profile.name: profile
+    for profile in (
+        TaskProfile(
+            name="face-recognition",
+            description="Single-frame face recognition (compute-bound)",
+            input_kb=62.0,
+            megacycles=1000.0,
+        ),
+        TaskProfile(
+            name="ar-overlay",
+            description="Augmented-reality object overlay per frame",
+            input_kb=420.0,
+            megacycles=1200.0,
+        ),
+        TaskProfile(
+            name="video-analytics",
+            description="HD frame batch for traffic/industrial analytics",
+            input_kb=1500.0,
+            megacycles=2500.0,
+        ),
+        TaskProfile(
+            name="navigation",
+            description="Route re-planning over a compressed map tile",
+            input_kb=150.0,
+            megacycles=400.0,
+        ),
+        TaskProfile(
+            name="speech-to-text",
+            description="A few seconds of audio to transcribe",
+            input_kb=250.0,
+            megacycles=3000.0,
+        ),
+        TaskProfile(
+            name="health-telemetry",
+            description="Wearable sensor window classification (light)",
+            input_kb=30.0,
+            megacycles=120.0,
+        ),
+    )
+}
+
+
+def get_profile(name: str) -> TaskProfile:
+    """Look up a catalogue profile by name."""
+    try:
+        return PROFILES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown task profile {name!r}; available: {', '.join(sorted(PROFILES))}"
+        ) from None
+
+
+def list_profiles() -> List[str]:
+    """All catalogue profile names, sorted."""
+    return sorted(PROFILES)
+
+
+def mixed_profile_tasks(
+    n_tasks: int,
+    rng: Optional[np.random.Generator] = None,
+    weights: Optional[Dict[str, float]] = None,
+) -> List[Task]:
+    """Draw tasks from a (weighted) mix of catalogue profiles.
+
+    ``weights`` maps profile names to non-negative selection weights;
+    defaults to uniform over the whole catalogue.
+    """
+    if n_tasks < 0:
+        raise ConfigurationError(f"n_tasks must be non-negative, got {n_tasks}")
+    rng = rng if rng is not None else np.random.default_rng()
+    if weights is None:
+        names = list_profiles()
+        probabilities = np.full(len(names), 1.0 / len(names))
+    else:
+        if not weights:
+            raise ConfigurationError("weights must not be empty")
+        names = sorted(weights)
+        raw = np.array([weights[name] for name in names], dtype=float)
+        if np.any(raw < 0) or raw.sum() <= 0:
+            raise ConfigurationError(
+                "weights must be non-negative and sum to a positive value"
+            )
+        for name in names:
+            get_profile(name)  # validates existence
+        probabilities = raw / raw.sum()
+    choices = rng.choice(len(names), size=n_tasks, p=probabilities)
+    return [get_profile(names[int(i)]).sample_task(rng) for i in choices]

@@ -1,0 +1,44 @@
+"""The MEC server model (Sec. III-A-3).
+
+Each base station hosts one MEC server whose computation rate ``f_s``
+(cycles/s) is divided among the users it serves, subject to
+``sum_u f_us <= f_s`` (constraint 12f).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class MecServer:
+    """An edge server co-located with a base station.
+
+    Attributes
+    ----------
+    cpu_hz:
+        Total computation rate ``f_s`` in cycles/s available for sharing
+        among the server's offloaded tasks.
+    """
+
+    cpu_hz: float
+
+    def __post_init__(self) -> None:
+        if self.cpu_hz <= 0:
+            raise ConfigurationError(
+                f"server CPU frequency must be positive, got {self.cpu_hz}"
+            )
+
+    def execution_time_s(self, cycles: float, allocated_hz: float) -> float:
+        """``t_execute = w_u / f_us`` for an allocated share (Eq. 7)."""
+        if allocated_hz <= 0:
+            raise ConfigurationError(
+                f"allocated CPU share must be positive, got {allocated_hz}"
+            )
+        if allocated_hz > self.cpu_hz * (1 + 1e-12):
+            raise ConfigurationError(
+                f"allocated share {allocated_hz} exceeds server capacity {self.cpu_hz}"
+            )
+        return cycles / allocated_hz

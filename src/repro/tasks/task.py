@@ -1,0 +1,52 @@
+"""The atomic computation task ``T_u = <d_u, w_u>`` (Sec. III-A-1).
+
+Each user owns exactly one non-divisible task characterised by the input
+data volume ``d_u`` (bits) that must be shipped to the MEC server and the
+computational load ``w_u`` (CPU cycles) needed to execute it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Task:
+    """An atomic offloadable computation task.
+
+    Attributes
+    ----------
+    input_bits:
+        ``d_u`` — bits of program state/input transferred on offload.
+    cycles:
+        ``w_u`` — CPU cycles required to complete the task.
+    """
+
+    input_bits: float
+    cycles: float
+
+    def __post_init__(self) -> None:
+        if self.input_bits <= 0:
+            raise ConfigurationError(
+                f"task input size must be positive, got {self.input_bits}"
+            )
+        if self.cycles <= 0:
+            raise ConfigurationError(
+                f"task cycle count must be positive, got {self.cycles}"
+            )
+
+    def local_time_s(self, cpu_hz: float) -> float:
+        """Completion time ``t_local = w_u / f_local`` on a local CPU."""
+        if cpu_hz <= 0:
+            raise ConfigurationError(f"CPU frequency must be positive, got {cpu_hz}")
+        return self.cycles / cpu_hz
+
+    def local_energy_j(self, cpu_hz: float, kappa: float) -> float:
+        """Local execution energy ``E_local = kappa * f_local^2 * w_u`` (Eq. 1)."""
+        if cpu_hz <= 0:
+            raise ConfigurationError(f"CPU frequency must be positive, got {cpu_hz}")
+        if kappa <= 0:
+            raise ConfigurationError(f"kappa must be positive, got {kappa}")
+        return kappa * cpu_hz**2 * self.cycles

@@ -1,0 +1,118 @@
+"""Workload (user population) generators.
+
+The paper's experiments use a homogeneous population — every user has the
+same input size, workload, CPU, power and preferences (Sec. V) — but the
+model supports full heterogeneity, and Fig. 9 sweeps the preference weights.
+These helpers build ``UserDevice`` lists for both styles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.tasks.device import UserDevice
+from repro.tasks.task import Task
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Parameter ranges for a heterogeneous user population.
+
+    Each ``(low, high)`` range is sampled uniformly per user.  Scalars
+    can be expressed as ``(v, v)``.
+    """
+
+    input_bits: Tuple[float, float]
+    cycles: Tuple[float, float]
+    cpu_hz: Tuple[float, float]
+    tx_power_watts: Tuple[float, float]
+    kappa: float
+    beta_time: Tuple[float, float] = (0.5, 0.5)
+    operator_weight: Tuple[float, float] = (1.0, 1.0)
+
+    def __post_init__(self) -> None:
+        for name in (
+            "input_bits",
+            "cycles",
+            "cpu_hz",
+            "tx_power_watts",
+            "beta_time",
+            "operator_weight",
+        ):
+            low, high = getattr(self, name)
+            if low > high:
+                raise ConfigurationError(
+                    f"{name} range is inverted: ({low}, {high})"
+                )
+
+
+def _sample(rng: np.random.Generator, bounds: Tuple[float, float]) -> float:
+    low, high = bounds
+    if low == high:
+        return float(low)
+    return float(rng.uniform(low, high))
+
+
+def uniform_population(
+    n_users: int,
+    input_bits: float,
+    cycles: float,
+    cpu_hz: float,
+    tx_power_watts: float,
+    kappa: float,
+    beta_time: float = 0.5,
+    operator_weight: float = 1.0,
+) -> List[UserDevice]:
+    """Homogeneous population, matching the paper's experimental setup.
+
+    ``beta_energy`` is derived as ``1 - beta_time`` (the paper keeps the
+    sum fixed at 1, Sec. V-E).
+    """
+    if n_users < 0:
+        raise ConfigurationError(f"n_users must be non-negative, got {n_users}")
+    task = Task(input_bits=input_bits, cycles=cycles)
+    return [
+        UserDevice(
+            task=task,
+            cpu_hz=cpu_hz,
+            tx_power_watts=tx_power_watts,
+            kappa=kappa,
+            beta_time=beta_time,
+            beta_energy=1.0 - beta_time,
+            operator_weight=operator_weight,
+        )
+        for _ in range(n_users)
+    ]
+
+
+def heterogeneous_population(
+    n_users: int,
+    spec: WorkloadSpec,
+    rng: Optional[np.random.Generator] = None,
+) -> List[UserDevice]:
+    """Population with per-user parameters sampled from ``spec``."""
+    if n_users < 0:
+        raise ConfigurationError(f"n_users must be non-negative, got {n_users}")
+    rng = rng if rng is not None else np.random.default_rng()
+    users = []
+    for _ in range(n_users):
+        beta_time = _sample(rng, spec.beta_time)
+        users.append(
+            UserDevice(
+                task=Task(
+                    input_bits=_sample(rng, spec.input_bits),
+                    cycles=_sample(rng, spec.cycles),
+                ),
+                cpu_hz=_sample(rng, spec.cpu_hz),
+                tx_power_watts=_sample(rng, spec.tx_power_watts),
+                kappa=spec.kappa,
+                beta_time=beta_time,
+                beta_energy=1.0 - beta_time,
+                operator_weight=_sample(rng, spec.operator_weight),
+            )
+        )
+    return users

@@ -1,0 +1,199 @@
+"""Tests for the KKT computing-resource allocation (Eq. 20-23)."""
+
+import numpy as np
+import pytest
+from scipy import optimize
+
+from repro.core.allocation import (
+    allocation_cost,
+    kkt_allocation,
+    optimal_allocation_cost,
+)
+from repro.core.decision import OffloadingDecision
+from repro.errors import InfeasibleAllocationError
+from tests.conftest import make_scenario
+
+
+def scenario_and_decision(n_users=4, n_servers=2, n_channels=2, assignments=()):
+    scenario = make_scenario(
+        n_users=n_users, n_servers=n_servers, n_subbands=n_channels
+    )
+    decision = OffloadingDecision.all_local(n_users, n_servers, n_channels)
+    for user, server, channel in assignments:
+        decision.assign(user, server, channel)
+    return scenario, decision
+
+
+class TestKktAllocation:
+    def test_single_user_gets_full_server(self):
+        scenario, decision = scenario_and_decision(assignments=[(0, 0, 0)])
+        allocation = kkt_allocation(scenario, decision)
+        assert allocation[0, 0] == pytest.approx(20e9)
+        assert allocation[1:, :].sum() == 0.0
+
+    def test_equal_eta_split_evenly(self):
+        scenario, decision = scenario_and_decision(
+            assignments=[(0, 0, 0), (1, 0, 1)]
+        )
+        allocation = kkt_allocation(scenario, decision)
+        assert allocation[0, 0] == pytest.approx(10e9)
+        assert allocation[1, 0] == pytest.approx(10e9)
+
+    def test_capacity_exactly_exhausted(self):
+        scenario, decision = scenario_and_decision(
+            n_users=4, n_channels=4, assignments=[(u, 0, u) for u in range(4)]
+        )
+        allocation = kkt_allocation(scenario, decision)
+        assert allocation[:, 0].sum() == pytest.approx(20e9)
+
+    def test_sqrt_eta_proportionality(self):
+        # Two users with different beta_time on one server: shares must be
+        # proportional to sqrt(eta) = sqrt(lam * beta_t * f_local).
+        from repro.tasks.device import UserDevice
+        from repro.tasks.server import MecServer
+        from repro.tasks.task import Task
+        from repro.sim.scenario import Scenario
+
+        task = Task(input_bits=1e6, cycles=1e9)
+        users = [
+            UserDevice(task=task, cpu_hz=1e9, tx_power_watts=0.01, kappa=5e-27,
+                       beta_time=0.9, beta_energy=0.1),
+            UserDevice(task=task, cpu_hz=1e9, tx_power_watts=0.01, kappa=5e-27,
+                       beta_time=0.1, beta_energy=0.9),
+        ]
+        scenario = Scenario.from_parts(
+            users=users,
+            servers=[MecServer(cpu_hz=20e9)],
+            gains=np.full((2, 1, 2), 1e-9),
+            total_bandwidth_hz=20e6,
+            noise_watts=1e-13,
+        )
+        decision = OffloadingDecision.all_local(2, 1, 2)
+        decision.assign(0, 0, 0)
+        decision.assign(1, 0, 1)
+        allocation = kkt_allocation(scenario, decision)
+        ratio = allocation[0, 0] / allocation[1, 0]
+        assert ratio == pytest.approx(np.sqrt(0.9 / 0.1))
+        assert allocation[:, 0].sum() == pytest.approx(20e9)
+
+    def test_zero_eta_splits_evenly(self):
+        # beta_time = 0 for everyone -> eta = 0 -> even split fallback.
+        scenario = make_scenario(beta_time=0.0)
+        decision = OffloadingDecision.all_local(4, 2, 2)
+        decision.assign(0, 0, 0)
+        decision.assign(1, 0, 1)
+        allocation = kkt_allocation(scenario, decision)
+        assert allocation[0, 0] == pytest.approx(10e9)
+        assert allocation[1, 0] == pytest.approx(10e9)
+
+    def test_empty_decision_all_zero(self):
+        scenario, decision = scenario_and_decision()
+        allocation = kkt_allocation(scenario, decision)
+        assert allocation.sum() == 0.0
+
+    def test_servers_independent(self):
+        scenario, decision = scenario_and_decision(
+            assignments=[(0, 0, 0), (1, 1, 0)]
+        )
+        allocation = kkt_allocation(scenario, decision)
+        assert allocation[0, 0] == pytest.approx(20e9)
+        assert allocation[1, 1] == pytest.approx(20e9)
+
+
+class TestOptimalCost:
+    def test_closed_form_matches_direct_evaluation(self):
+        scenario, decision = scenario_and_decision(
+            assignments=[(0, 0, 0), (1, 0, 1), (2, 1, 0)]
+        )
+        allocation = kkt_allocation(scenario, decision)
+        direct = allocation_cost(scenario, decision, allocation)
+        closed = optimal_allocation_cost(scenario, decision)
+        assert closed == pytest.approx(direct, rel=1e-12)
+
+    def test_empty_decision_zero_cost(self):
+        scenario, decision = scenario_and_decision()
+        assert optimal_allocation_cost(scenario, decision) == 0.0
+
+    def test_kkt_beats_any_feasible_split(self, rng):
+        """The closed form must never lose to random feasible allocations."""
+        scenario, decision = scenario_and_decision(
+            n_users=3, n_channels=3,
+            assignments=[(0, 0, 0), (1, 0, 1), (2, 0, 2)],
+        )
+        optimal = optimal_allocation_cost(scenario, decision)
+        capacity = scenario.server_cpu_hz[0]
+        for _ in range(200):
+            weights = rng.uniform(0.05, 1.0, size=3)
+            shares = capacity * weights / weights.sum()
+            allocation = np.zeros((3, 2))
+            allocation[:, 0] = shares
+            assert allocation_cost(scenario, decision, allocation) >= optimal - 1e-9
+
+    def test_kkt_matches_scipy_optimum(self):
+        """Cross-check Eq. (22) against a numerical convex solver."""
+        from repro.tasks.device import UserDevice
+        from repro.tasks.server import MecServer
+        from repro.tasks.task import Task
+        from repro.sim.scenario import Scenario
+
+        task = Task(input_bits=1e6, cycles=1e9)
+        betas = [0.3, 0.5, 0.8]
+        users = [
+            UserDevice(task=task, cpu_hz=1e9, tx_power_watts=0.01, kappa=5e-27,
+                       beta_time=b, beta_energy=1 - b)
+            for b in betas
+        ]
+        scenario = Scenario.from_parts(
+            users=users,
+            servers=[MecServer(cpu_hz=20e9)],
+            gains=np.full((3, 1, 3), 1e-9),
+            total_bandwidth_hz=20e6,
+            noise_watts=1e-13,
+        )
+        decision = OffloadingDecision.all_local(3, 1, 3)
+        for u in range(3):
+            decision.assign(u, 0, u)
+
+        # Optimise in GHz so the solver sees well-scaled variables.
+        eta_ghz = scenario.eta / 1e9
+        capacity_ghz = 20.0
+
+        def objective(shares_ghz):
+            return float(np.sum(eta_ghz / shares_ghz))
+
+        result = optimize.minimize(
+            objective,
+            x0=np.full(3, capacity_ghz / 3),
+            bounds=[(1e-3, capacity_ghz)] * 3,
+            constraints=[{
+                "type": "ineq",
+                "fun": lambda shares_ghz: capacity_ghz - shares_ghz.sum(),
+            }],
+            method="SLSQP",
+            options={"ftol": 1e-14, "maxiter": 2000},
+        )
+        assert result.success
+        expected_ghz = kkt_allocation(scenario, decision)[:, 0] / 1e9
+        np.testing.assert_allclose(result.x, expected_ghz, rtol=1e-4)
+        assert optimal_allocation_cost(scenario, decision) == pytest.approx(
+            result.fun, rel=1e-6
+        )
+
+
+class TestAllocationCostValidation:
+    def test_rejects_wrong_shape(self):
+        scenario, decision = scenario_and_decision()
+        with pytest.raises(InfeasibleAllocationError):
+            allocation_cost(scenario, decision, np.zeros((2, 2)))
+
+    def test_rejects_over_capacity(self):
+        scenario, decision = scenario_and_decision(assignments=[(0, 0, 0)])
+        allocation = np.zeros((4, 2))
+        allocation[0, 0] = 25e9
+        with pytest.raises(InfeasibleAllocationError):
+            allocation_cost(scenario, decision, allocation)
+
+    def test_rejects_zero_share_for_attached_user(self):
+        scenario, decision = scenario_and_decision(assignments=[(0, 0, 0)])
+        with pytest.raises(InfeasibleAllocationError):
+            allocation_cost(scenario, decision, np.zeros((4, 2)))

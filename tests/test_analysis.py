@@ -1,0 +1,112 @@
+"""Tests for the convergence-analysis utilities."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.convergence import (
+    ascii_sparkline,
+    compare_convergence,
+    summarize_trace,
+)
+from repro.core.annealing import AnnealingSchedule
+from repro.core.scheduler import TsajsScheduler
+from repro.errors import ConfigurationError
+from tests.conftest import make_scenario
+
+
+class TestSummarizeTrace:
+    def test_monotone_trace(self):
+        report = summarize_trace([0.0, 5.0, 9.0, 10.0, 10.0])
+        assert report.final_value == 10.0
+        assert report.levels == 5
+        assert report.levels_to_90 == 2  # 9.0 is 90% of the climb
+        assert report.levels_to_99 == 3
+        assert 0.0 < report.normalized_auc <= 1.0
+
+    def test_flat_trace_converged_immediately(self):
+        report = summarize_trace([3.0, 3.0, 3.0])
+        assert report.levels_to_90 == 0
+        assert report.levels_to_99 == 0
+        assert report.normalized_auc == 1.0
+
+    def test_single_point(self):
+        report = summarize_trace([7.0])
+        assert report.final_value == 7.0
+        assert report.levels == 1
+
+    def test_early_convergence_high_auc(self):
+        fast = summarize_trace([0.0, 10.0, 10.0, 10.0])
+        slow = summarize_trace([0.0, 1.0, 2.0, 10.0])
+        assert fast.normalized_auc > slow.normalized_auc
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            summarize_trace([])
+
+
+class TestAsciiSparkline:
+    def test_length_matches_input(self):
+        assert len(ascii_sparkline([1.0, 2.0, 3.0])) == 3
+
+    def test_resampled_width(self):
+        assert len(ascii_sparkline(list(range(100)), width=20)) == 20
+
+    def test_monotone_trace_monotone_blocks(self):
+        spark = ascii_sparkline([0.0, 1.0, 2.0, 3.0])
+        assert spark[0] == "▁"
+        assert spark[-1] == "█"
+        assert list(spark) == sorted(spark)
+
+    def test_flat_trace_full_blocks(self):
+        assert ascii_sparkline([2.0, 2.0]) == "██"
+
+    def test_empty_trace(self):
+        assert ascii_sparkline([]) == ""
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ConfigurationError):
+            ascii_sparkline([1.0, 2.0], width=0)
+
+
+class TestCompareConvergence:
+    def schedulers(self):
+        quick = dict(min_temperature=1e-1, chain_length=5)
+        return {
+            "ttsa": TsajsScheduler(
+                schedule=AnnealingSchedule(**quick), record_trace=True
+            ),
+            "vanilla": TsajsScheduler(
+                schedule=AnnealingSchedule(threshold_factor=1e18, **quick),
+                record_trace=True,
+            ),
+        }
+
+    def test_collects_per_seed_reports(self, small_random_scenario):
+        reports = compare_convergence(
+            small_random_scenario, self.schedulers(), seeds=[1, 2]
+        )
+        assert set(reports) == {"ttsa", "vanilla"}
+        assert len(reports["ttsa"]) == 2
+        for report in reports["ttsa"]:
+            assert report.levels > 0
+
+    def test_rejects_traceless_scheduler(self, small_random_scenario):
+        schedulers = {"bad": TsajsScheduler(schedule=AnnealingSchedule(
+            min_temperature=1e-1))}
+        with pytest.raises(ConfigurationError):
+            compare_convergence(small_random_scenario, schedulers, seeds=[1])
+
+    def test_rejects_empty_seeds(self, small_random_scenario):
+        with pytest.raises(ConfigurationError):
+            compare_convergence(small_random_scenario, self.schedulers(), seeds=[])
+
+    def test_shared_seed_same_instance(self, small_random_scenario):
+        # Same scheduler under two names must produce identical reports
+        # for the same seed (derived RNGs are name-independent).
+        quick = AnnealingSchedule(min_temperature=1e-1, chain_length=5)
+        schedulers = {
+            "a": TsajsScheduler(schedule=quick, record_trace=True),
+            "b": TsajsScheduler(schedule=quick, record_trace=True),
+        }
+        reports = compare_convergence(small_random_scenario, schedulers, seeds=[9])
+        assert reports["a"][0] == reports["b"][0]

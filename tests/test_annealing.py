@@ -1,0 +1,206 @@
+"""Tests for the threshold-triggered annealing engine (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.annealing import AnnealingSchedule, ThresholdTriggeredAnnealer
+from repro.errors import ConfigurationError
+
+
+class TestScheduleValidation:
+    def test_paper_defaults(self):
+        schedule = AnnealingSchedule()
+        assert schedule.initial_temperature is None  # resolves to N
+        assert schedule.min_temperature == 1e-9
+        assert schedule.alpha_slow == 0.97
+        assert schedule.alpha_fast == 0.90
+        assert schedule.chain_length == 30
+        assert schedule.threshold_factor == 1.75
+        assert schedule.max_count == pytest.approx(52.5)
+
+    def test_rejects_nonpositive_initial_temperature(self):
+        with pytest.raises(ConfigurationError):
+            AnnealingSchedule(initial_temperature=0.0)
+
+    def test_rejects_nonpositive_min_temperature(self):
+        with pytest.raises(ConfigurationError):
+            AnnealingSchedule(min_temperature=0.0)
+
+    def test_rejects_min_above_initial(self):
+        with pytest.raises(ConfigurationError):
+            AnnealingSchedule(initial_temperature=1.0, min_temperature=2.0)
+
+    @pytest.mark.parametrize("alpha", [0.0, 1.0, -0.5, 1.5])
+    def test_rejects_bad_alphas(self, alpha):
+        with pytest.raises(ConfigurationError):
+            AnnealingSchedule(alpha_slow=alpha)
+        with pytest.raises(ConfigurationError):
+            AnnealingSchedule(alpha_fast=alpha)
+
+    def test_rejects_bad_chain_length(self):
+        with pytest.raises(ConfigurationError):
+            AnnealingSchedule(chain_length=0)
+
+    def test_rejects_bad_threshold_factor(self):
+        with pytest.raises(ConfigurationError):
+            AnnealingSchedule(threshold_factor=0.0)
+
+
+def _integer_hill(x: int) -> float:
+    """A 1-D multi-modal objective with global maximum at x = 40."""
+    return -abs(x - 40) + 8.0 * np.sin(x / 3.0)
+
+
+def _propose_int(x: int, rng: np.random.Generator) -> int:
+    return int(np.clip(x + rng.integers(-3, 4), 0, 100))
+
+
+class TestAnnealerBehaviour:
+    def test_finds_global_maximum_of_toy_problem(self):
+        annealer = ThresholdTriggeredAnnealer(
+            AnnealingSchedule(initial_temperature=10.0, min_temperature=1e-4)
+        )
+        result = annealer.run(
+            initial_state=0,
+            objective=_integer_hill,
+            propose=_propose_int,
+            rng=np.random.default_rng(0),
+        )
+        best_possible = max(_integer_hill(x) for x in range(101))
+        assert result.best_value == pytest.approx(best_possible)
+
+    def test_best_value_matches_best_state(self):
+        annealer = ThresholdTriggeredAnnealer(
+            AnnealingSchedule(initial_temperature=5.0, min_temperature=1e-2)
+        )
+        result = annealer.run(0, _integer_hill, _propose_int, np.random.default_rng(1))
+        assert result.best_value == pytest.approx(_integer_hill(result.best_state))
+
+    def test_never_worse_than_initial(self):
+        annealer = ThresholdTriggeredAnnealer(
+            AnnealingSchedule(initial_temperature=5.0, min_temperature=1e-1)
+        )
+        for seed in range(10):
+            start = int(np.random.default_rng(seed).integers(0, 100))
+            result = annealer.run(
+                start, _integer_hill, _propose_int, np.random.default_rng(seed)
+            )
+            assert result.best_value >= _integer_hill(start)
+
+    def test_iteration_count_is_chain_times_levels(self):
+        schedule = AnnealingSchedule(
+            initial_temperature=1.0,
+            min_temperature=0.5,
+            alpha_slow=0.5,
+            chain_length=7,
+            threshold_factor=1e9,  # never trigger
+        )
+        annealer = ThresholdTriggeredAnnealer(schedule)
+        result = annealer.run(
+            0, lambda x: 0.0, lambda x, rng: x, np.random.default_rng(0)
+        )
+        # One temperature level: 1.0 -> 0.5 stops the loop.
+        assert result.iterations == 7
+
+    def test_threshold_trigger_accelerates_cooling(self):
+        """A flat objective accepts every move, so the trigger must fire."""
+        schedule = AnnealingSchedule(
+            initial_temperature=1.0,
+            min_temperature=1e-3,
+            chain_length=10,
+            threshold_factor=0.5,  # maxCount = 5, crossed every level
+        )
+        annealer = ThresholdTriggeredAnnealer(schedule)
+        # delta == 0 on a flat landscape is NOT an improvement, and
+        # exp(0/T) = 1 > rand, so every move counts as accepted-worse.
+        result = annealer.run(
+            0,
+            lambda x: 0.0,
+            lambda x, rng: x + 1,
+            np.random.default_rng(0),
+        )
+        assert result.fast_coolings > 0
+
+    def test_no_trigger_when_threshold_unreachable(self):
+        schedule = AnnealingSchedule(
+            initial_temperature=1.0,
+            min_temperature=1e-2,
+            chain_length=5,
+            threshold_factor=1e9,
+        )
+        annealer = ThresholdTriggeredAnnealer(schedule)
+        result = annealer.run(
+            0, lambda x: 0.0, lambda x, rng: x + 1, np.random.default_rng(0)
+        )
+        assert result.fast_coolings == 0
+
+    def test_trace_recorded_when_requested(self):
+        schedule = AnnealingSchedule(initial_temperature=1.0, min_temperature=0.1)
+        annealer = ThresholdTriggeredAnnealer(schedule)
+        result = annealer.run(
+            0,
+            _integer_hill,
+            _propose_int,
+            np.random.default_rng(0),
+            record_trace=True,
+        )
+        assert len(result.temperature_trace) == len(result.best_trace)
+        assert len(result.temperature_trace) > 0
+        # Temperatures strictly decrease; best values never decrease.
+        assert all(
+            a > b
+            for a, b in zip(result.temperature_trace, result.temperature_trace[1:])
+        )
+        assert all(
+            a <= b for a, b in zip(result.best_trace, result.best_trace[1:])
+        )
+
+    def test_trace_empty_by_default(self):
+        schedule = AnnealingSchedule(initial_temperature=1.0, min_temperature=0.1)
+        result = ThresholdTriggeredAnnealer(schedule).run(
+            0, _integer_hill, _propose_int, np.random.default_rng(0)
+        )
+        assert result.temperature_trace == []
+
+    def test_default_initial_temperature_used(self):
+        # With no explicit T0, the default argument (the paper's N) is used:
+        # verify via the level count for a known cooling ladder.
+        schedule = AnnealingSchedule(
+            min_temperature=0.9, alpha_slow=0.5, chain_length=1,
+            threshold_factor=1e9,
+        )
+        annealer = ThresholdTriggeredAnnealer(schedule)
+        result = annealer.run(
+            0,
+            lambda x: 0.0,
+            lambda x, rng: x,
+            np.random.default_rng(0),
+            default_initial_temperature=8.0,
+        )
+        # 8 -> 4 -> 2 -> 1 -> 0.5 : four levels above 0.9... count them.
+        # Levels run while T > 0.9: T = 8, 4, 2, 1 -> 4 iterations.
+        assert result.iterations == 4
+
+    def test_rejects_initial_at_or_below_min(self):
+        schedule = AnnealingSchedule(min_temperature=5.0)
+        annealer = ThresholdTriggeredAnnealer(schedule)
+        with pytest.raises(ConfigurationError):
+            annealer.run(
+                0,
+                lambda x: 0.0,
+                lambda x, rng: x,
+                np.random.default_rng(0),
+                default_initial_temperature=5.0,
+            )
+
+    def test_deterministic_given_seed(self):
+        schedule = AnnealingSchedule(initial_temperature=5.0, min_temperature=1e-2)
+        runs = [
+            ThresholdTriggeredAnnealer(schedule).run(
+                0, _integer_hill, _propose_int, np.random.default_rng(99)
+            )
+            for _ in range(2)
+        ]
+        assert runs[0].best_state == runs[1].best_state
+        assert runs[0].best_value == runs[1].best_value
+        assert runs[0].iterations == runs[1].iterations

@@ -1,0 +1,71 @@
+"""Tests for channel-gain generation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.channel import ChannelModel
+from repro.net.pathloss import LogNormalShadowing, UrbanMacroPathLoss
+from repro.net.topology import Topology
+
+
+@pytest.fixture
+def topo():
+    return Topology.hexagonal(4, 1.0)
+
+
+@pytest.fixture
+def positions(topo, rng):
+    return topo.place_users(10, rng)
+
+
+class TestChannelModel:
+    def test_gain_tensor_shape(self, topo, positions, rng):
+        model = ChannelModel()
+        gains = model.gains(topo, positions, n_subbands=3, rng=rng)
+        assert gains.shape == (10, 4, 3)
+
+    def test_gains_positive(self, topo, positions, rng):
+        gains = ChannelModel().gains(topo, positions, 3, rng)
+        assert np.all(gains > 0.0)
+
+    def test_frequency_flat_by_default(self, topo, positions, rng):
+        gains = ChannelModel().gains(topo, positions, 4, rng)
+        for j in range(1, 4):
+            np.testing.assert_array_equal(gains[:, :, j], gains[:, :, 0])
+
+    def test_per_band_jitter_breaks_flatness(self, topo, positions, rng):
+        model = ChannelModel(per_band_sigma_db=3.0)
+        gains = model.gains(topo, positions, 4, rng)
+        assert not np.array_equal(gains[:, :, 0], gains[:, :, 1])
+
+    def test_no_shadowing_matches_pathloss_exactly(self, topo, positions, rng):
+        model = ChannelModel(shadowing=LogNormalShadowing(sigma_db=0.0))
+        gains = model.gains(topo, positions, 1, rng)
+        expected = UrbanMacroPathLoss().gain_linear(topo.distances_km(positions))
+        np.testing.assert_allclose(gains[:, :, 0], expected)
+
+    def test_link_gains_shape(self, topo, positions, rng):
+        link = ChannelModel().link_gains(topo, positions, rng)
+        assert link.shape == (10, 4)
+
+    def test_nearer_station_stronger_without_shadowing(self, topo, rng):
+        model = ChannelModel(shadowing=LogNormalShadowing(sigma_db=0.0))
+        # A user basically on top of station 0.
+        user = topo.bs_positions[0:1] + np.array([[0.01, 0.0]])
+        gains = model.link_gains(topo, user, rng)
+        assert gains[0, 0] == gains[0].max()
+
+    def test_rejects_zero_subbands(self, topo, positions, rng):
+        with pytest.raises(ConfigurationError):
+            ChannelModel().gains(topo, positions, 0, rng)
+
+    def test_rejects_negative_jitter(self):
+        with pytest.raises(ConfigurationError):
+            ChannelModel(per_band_sigma_db=-1.0)
+
+    def test_reproducible(self, topo, positions):
+        model = ChannelModel()
+        a = model.gains(topo, positions, 2, np.random.default_rng(5))
+        b = model.gains(topo, positions, 2, np.random.default_rng(5))
+        np.testing.assert_array_equal(a, b)

@@ -1,0 +1,98 @@
+"""Tests for the ``tsajs`` command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig3" in out
+        assert "ablation_cooling" in out
+
+
+class TestSolve:
+    def test_solves_small_instance(self, capsys):
+        code = main(
+            [
+                "solve",
+                "--users", "5",
+                "--servers", "2",
+                "--subbands", "2",
+                "--seed", "1",
+                "--quick",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "TSAJS" in out
+        assert "Greedy" in out
+        assert "utility=" in out
+
+    def test_parameters_echoed(self, capsys):
+        main(["solve", "--users", "4", "--servers", "2", "--subbands", "2",
+              "--workload-mc", "2000", "--quick"])
+        out = capsys.readouterr().out
+        assert "U=4" in out
+        assert "w=2000" in out
+
+
+class TestRun:
+    def test_quick_experiment(self, capsys, tmp_path):
+        out_file = tmp_path / "fig9.txt"
+        code = main(["run", "fig9", "--quick", "--out", str(out_file)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Fig. 9" in out
+        assert out_file.exists()
+        assert "Fig. 9" in out_file.read_text()
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "fig99"])
+
+
+class TestVersion:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert "tsajs" in capsys.readouterr().out
+
+
+class TestEpisode:
+    def test_episode_command(self, capsys):
+        code = main(
+            [
+                "episode",
+                "--pool", "6",
+                "--slots", "3",
+                "--servers", "2",
+                "--subbands", "2",
+                "--quick",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "mean utility/slot" in out
+        assert "slot" in out
+
+    def test_episode_with_outages_and_scheme(self, capsys):
+        code = main(
+            [
+                "episode",
+                "--pool", "6",
+                "--slots", "3",
+                "--servers", "2",
+                "--subbands", "2",
+                "--outage", "1.0",
+                "--scheme", "Greedy",
+                "--quick",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "scheme=Greedy" in out
+        assert "outage events = 6" in out

@@ -1,0 +1,124 @@
+"""Tests for :class:`SimulationConfig` and the paper's defaults."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.config import SimulationConfig, small_network_config
+
+
+class TestPaperDefaults:
+    """Sec. V parameter table, verbatim."""
+
+    def test_network_defaults(self):
+        config = SimulationConfig()
+        assert config.n_servers == 9
+        assert config.inter_site_distance_km == 1.0
+        assert config.n_subbands == 3
+
+    def test_radio_defaults(self):
+        config = SimulationConfig()
+        assert config.bandwidth_hz == pytest.approx(20e6)
+        assert config.tx_power_watts == pytest.approx(0.01)  # 10 dBm
+        assert config.noise_watts == pytest.approx(1e-13)  # -100 dBm
+        assert config.pathloss_intercept_db == 140.7
+        assert config.pathloss_slope_db == 36.7
+        assert config.shadowing_sigma_db == 8.0
+
+    def test_compute_defaults(self):
+        config = SimulationConfig()
+        assert config.server_cpu_hz == pytest.approx(20e9)
+        assert config.user_cpu_hz == pytest.approx(1e9)
+        assert config.kappa == 5e-27
+
+    def test_task_defaults(self):
+        config = SimulationConfig()
+        assert config.input_kb == 420.0
+        assert config.input_bits == pytest.approx(420 * 8192)
+        assert config.workload_megacycles == 1000.0
+        assert config.workload_cycles == pytest.approx(1e9)
+        assert config.beta_time == 0.5
+        assert config.beta_energy == 0.5
+        assert config.operator_weight == 1.0
+
+    def test_subband_width(self):
+        config = SimulationConfig(n_subbands=4)
+        assert config.subband_width_hz == pytest.approx(5e6)
+
+
+class TestValidation:
+    def test_rejects_negative_users(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(n_users=-1)
+
+    def test_rejects_zero_servers(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(n_servers=0)
+
+    def test_rejects_zero_subbands(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(n_subbands=0)
+
+    @pytest.mark.parametrize(
+        "field",
+        [
+            "inter_site_distance_km",
+            "bandwidth_mhz",
+            "server_cpu_ghz",
+            "user_cpu_ghz",
+            "kappa",
+            "input_kb",
+            "workload_megacycles",
+        ],
+    )
+    def test_rejects_nonpositive_scalars(self, field):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(**{field: 0.0})
+
+    def test_rejects_negative_min_distance(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(min_bs_distance_km=-0.01)
+
+    def test_rejects_negative_shadowing(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(shadowing_sigma_db=-1.0)
+
+    def test_rejects_beta_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(beta_time=1.2)
+
+    def test_rejects_bad_operator_weight(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(operator_weight=0.0)
+
+    def test_zero_users_allowed(self):
+        assert SimulationConfig(n_users=0).n_users == 0
+
+
+class TestReplace:
+    def test_replace_returns_new_config(self):
+        config = SimulationConfig()
+        other = config.replace(n_users=50)
+        assert other.n_users == 50
+        assert config.n_users == 30  # original untouched
+        assert other.n_servers == config.n_servers
+
+    def test_replace_validates(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig().replace(n_servers=-3)
+
+
+class TestSmallNetworkConfig:
+    def test_fig3_dimensions(self):
+        config = small_network_config()
+        assert config.n_users == 6
+        assert config.n_servers == 4
+        assert config.n_subbands == 2
+
+    def test_overrides(self):
+        config = small_network_config(workload_megacycles=4000.0)
+        assert config.workload_megacycles == 4000.0
+        assert config.n_users == 6
+
+    def test_beta_energy_complement(self):
+        config = SimulationConfig(beta_time=0.8)
+        assert config.beta_energy == pytest.approx(0.2)

@@ -1,0 +1,171 @@
+"""Edge-case and stress tests across the system."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import ExhaustiveScheduler, GreedyScheduler, HJtoraScheduler
+from repro.core.annealing import AnnealingSchedule
+from repro.core.decision import LOCAL as DECISION_LOCAL
+from repro.core.decision import OffloadingDecision
+from repro.core.objective import ObjectiveEvaluator
+from repro.core.scheduler import TsajsScheduler
+from repro.net.sinr import LOCAL as SINR_LOCAL
+from repro.sim.config import SimulationConfig
+from repro.sim.scenario import Scenario
+from tests.conftest import make_scenario
+
+QUICK = AnnealingSchedule(min_temperature=1e-2)
+
+
+class TestLocalMarkerConsistency:
+    def test_markers_agree(self):
+        # Two modules define LOCAL; they must stay the same constant.
+        assert DECISION_LOCAL == SINR_LOCAL == -1
+
+
+class TestDegenerateInstances:
+    def test_single_user_single_server_single_band(self):
+        scenario = make_scenario(n_users=1, n_servers=1, n_subbands=1)
+        result = ExhaustiveScheduler().schedule(scenario)
+        # Offloading is attractive here, so the optimum offloads.
+        assert result.decision.n_offloaded() == 1
+        assert result.utility > 0.0
+
+    def test_more_servers_than_users(self):
+        scenario = make_scenario(n_users=2, n_servers=5, n_subbands=3)
+        result = HJtoraScheduler().schedule(scenario)
+        assert result.decision.n_offloaded() == 2
+
+    def test_many_users_one_slot(self):
+        scenario = make_scenario(n_users=20, n_servers=1, n_subbands=1)
+        result = GreedyScheduler().schedule(scenario)
+        assert result.decision.n_offloaded() <= 1
+
+    def test_single_band_heavy_interference(self):
+        # Many cells sharing one band: interference-limited regime.
+        scenario = make_scenario(n_users=6, n_servers=6, n_subbands=1)
+        result = TsajsScheduler(schedule=QUICK).schedule(
+            scenario, np.random.default_rng(0)
+        )
+        evaluator = ObjectiveEvaluator(scenario)
+        assert evaluator.evaluate(result.decision) == pytest.approx(result.utility)
+        assert result.utility >= 0.0
+
+    def test_identical_gains_ties_resolve(self):
+        # Perfectly symmetric instance: any tie-break must stay feasible.
+        scenario = make_scenario(n_users=4, n_servers=2, n_subbands=2)
+        result = ExhaustiveScheduler().schedule(scenario)
+        assert result.decision.is_feasible()
+
+
+class TestExtremeParameters:
+    def test_tiny_tasks_prefer_local(self):
+        # Minuscule workload: t_local ~ 1 us, offloading pure overhead.
+        scenario = make_scenario(cycles=1e3, gains=np.full((4, 2, 2), 1e-12))
+        result = ExhaustiveScheduler().schedule(scenario)
+        assert result.decision.n_offloaded() == 0
+        assert result.utility == 0.0
+
+    def test_huge_tasks_all_offload(self):
+        scenario = make_scenario(cycles=1e12)
+        result = ExhaustiveScheduler().schedule(scenario)
+        assert result.decision.n_offloaded() == 4
+
+    def test_extreme_beta_time_only(self):
+        scenario = make_scenario(beta_time=1.0)
+        evaluator = ObjectiveEvaluator(scenario)
+        decision = OffloadingDecision.all_local(4, 2, 2)
+        decision.assign(0, 0, 0)
+        # psi = 0 when beta_energy = 0; identity must still hold.
+        assert evaluator.breakdown(decision).system_utility == pytest.approx(
+            evaluator.evaluate(decision)
+        )
+
+    def test_extreme_beta_energy_only(self):
+        scenario = make_scenario(beta_time=0.0)
+        evaluator = ObjectiveEvaluator(scenario)
+        decision = OffloadingDecision.all_local(4, 2, 2)
+        decision.assign(0, 0, 0)
+        decision.assign(1, 0, 1)
+        # eta = 0: the KKT fallback splits evenly; identity must hold.
+        assert evaluator.breakdown(decision).system_utility == pytest.approx(
+            evaluator.evaluate(decision)
+        )
+
+    def test_very_weak_channel_negative_utility(self):
+        scenario = make_scenario(gains=np.full((4, 2, 2), 1e-18))
+        evaluator = ObjectiveEvaluator(scenario)
+        decision = OffloadingDecision.all_local(4, 2, 2)
+        decision.assign(0, 0, 0)
+        assert evaluator.evaluate(decision) < 0.0
+
+    def test_large_subband_count(self):
+        config = SimulationConfig(n_users=5, n_servers=2, n_subbands=64)
+        scenario = Scenario.build(config, seed=0)
+        result = TsajsScheduler(schedule=QUICK).schedule(
+            scenario, np.random.default_rng(0)
+        )
+        assert result.decision.is_feasible()
+
+    def test_heterogeneous_server_capacities(self):
+        from repro.tasks.device import UserDevice
+        from repro.tasks.server import MecServer
+        from repro.tasks.task import Task
+
+        task = Task(input_bits=1e6, cycles=4e9)
+        users = [
+            UserDevice(task=task, cpu_hz=1e9, tx_power_watts=0.01, kappa=5e-27)
+            for _ in range(2)
+        ]
+        # One fast server, one very slow server, one band each.
+        servers = [MecServer(cpu_hz=40e9), MecServer(cpu_hz=1e8)]
+        scenario = Scenario.from_parts(
+            users=users,
+            servers=servers,
+            gains=np.full((2, 2, 1), 1e-9),
+            total_bandwidth_hz=20e6,
+            noise_watts=1e-13,
+        )
+        result = ExhaustiveScheduler().schedule(scenario)
+        # The fast server must host someone; the slow server makes
+        # execution slower than local (1e8 < 1e9), so nobody picks it
+        # unless interference-free gains outweigh it - they don't here.
+        occupants_fast = result.decision.users_on_server(0)
+        occupants_slow = result.decision.users_on_server(1)
+        assert occupants_fast.size == 1
+        assert occupants_slow.size == 0
+
+
+class TestNumericalRobustness:
+    def test_no_warnings_on_typical_run(self, small_random_scenario):
+        with np.errstate(all="raise", under="ignore"):
+            result = TsajsScheduler(schedule=QUICK).schedule(
+                small_random_scenario, np.random.default_rng(0)
+            )
+        assert np.isfinite(result.utility)
+
+    def test_interference_cancellation_guard(self):
+        # Equal gains produce total - signal = 0 exactly; the guard must
+        # keep interference non-negative.
+        from repro.net.sinr import compute_link_stats
+
+        gains = np.full((2, 2, 1), 1e-9)
+        stats = compute_link_stats(
+            gains,
+            np.full(2, 0.01),
+            1e-13,
+            1e7,
+            np.array([0, 1]),
+            np.array([0, 0]),
+        )
+        assert np.all(stats.sinr > 0.0)
+        assert np.all(np.isfinite(stats.rate_bps))
+
+    def test_objective_finite_across_gain_magnitudes(self):
+        for magnitude in (1e-20, 1e-14, 1e-9, 1e-4):
+            scenario = make_scenario(gains=np.full((4, 2, 2), magnitude))
+            evaluator = ObjectiveEvaluator(scenario)
+            decision = OffloadingDecision.all_local(4, 2, 2)
+            decision.assign(0, 0, 0)
+            value = evaluator.evaluate(decision)
+            assert np.isfinite(value)

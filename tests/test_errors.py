@@ -1,0 +1,32 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+@pytest.mark.parametrize(
+    "subclass",
+    [
+        errors.ConfigurationError,
+        errors.InfeasibleDecisionError,
+        errors.InfeasibleAllocationError,
+        errors.SolverError,
+    ],
+)
+def test_all_errors_derive_from_repro_error(subclass):
+    assert issubclass(subclass, errors.ReproError)
+
+
+def test_repro_error_is_an_exception():
+    assert issubclass(errors.ReproError, Exception)
+
+
+def test_catching_base_catches_subclasses():
+    with pytest.raises(errors.ReproError):
+        raise errors.InfeasibleDecisionError("boom")
+
+
+def test_errors_carry_messages():
+    err = errors.SolverError("exceeded budget")
+    assert "exceeded budget" in str(err)

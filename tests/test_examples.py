@@ -1,0 +1,80 @@
+"""Smoke tests: every example script must run and tell its story.
+
+These execute the actual ``examples/*.py`` files in subprocesses — the
+deliverable is that they are runnable as-is, so the tests exercise them
+exactly the way a user would.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[1] / "examples"
+
+
+def run_example(name: str, timeout: int = 420) -> str:
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert completed.returncode == 0, completed.stderr
+    return completed.stdout
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_all_examples_present(self):
+        scripts = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+        assert {
+            "quickstart.py",
+            "preference_tradeoff.py",
+            "dense_urban_scaling.py",
+            "emergency_priority.py",
+            "annealing_convergence.py",
+            "power_control_study.py",
+            "online_arrivals.py",
+            "mixed_applications.py",
+        } <= scripts
+
+    def test_preference_tradeoff(self):
+        out = run_example("preference_tradeoff.py")
+        assert "battery savers" in out
+        assert "latency seekers" in out
+
+    def test_dense_urban_scaling(self):
+        out = run_example("dense_urban_scaling.py")
+        assert "TSAJS J" in out
+        assert "Reading:" in out
+
+    def test_annealing_convergence(self):
+        out = run_example("annealing_convergence.py")
+        assert "TTSA (paper)" in out
+        assert "final J" in out
+
+    def test_online_arrivals(self):
+        out = run_example("online_arrivals.py")
+        assert "healthy network" in out
+        assert "mean utility/slot" in out
+
+    # quickstart.py is covered by test_integration.py; the remaining two
+    # (emergency_priority, power_control_study) are the heaviest — run
+    # them last and with the full timeout.
+
+    def test_emergency_priority(self):
+        out = run_example("emergency_priority.py")
+        assert "emergency mode" in out
+        assert "responders offloaded" in out
+
+    def test_power_control_study(self):
+        out = run_example("power_control_study.py")
+        assert "mean utility gain from power control" in out
+        assert "alternating TSAJS" in out
+
+    def test_mixed_applications(self):
+        out = run_example("mixed_applications.py")
+        assert "face-recognition" in out
+        assert "system utility" in out

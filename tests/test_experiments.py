@@ -1,0 +1,225 @@
+"""Tests for the experiment drivers (quick presets).
+
+These run every figure driver end to end at reduced scale and assert the
+structural contract (headers, rows, raw series) plus the cheap shape
+properties that must hold even at quick scale.
+"""
+
+import pytest
+
+from repro.experiments import (
+    ablation_cooling,
+    ablation_neighborhood,
+    ablation_threshold,
+    fig3_suboptimality,
+    fig4_user_scale,
+    fig5_data_size,
+    fig6_workload,
+    fig7_subchannels,
+    fig8_runtime,
+    fig9_preferences,
+)
+from repro.experiments.common import (
+    SCHEME_ORDER,
+    default_seeds,
+    make_tsajs,
+    scheme_names,
+    standard_schedulers,
+)
+from repro.experiments.report import render_text
+
+
+class TestCommonHelpers:
+    def test_standard_schedulers_order(self):
+        names = scheme_names(standard_schedulers(include_exhaustive=True))
+        assert tuple(names) == SCHEME_ORDER
+
+    def test_standard_schedulers_without_exhaustive(self):
+        names = scheme_names(standard_schedulers())
+        assert names == ["TSAJS", "hJTORA", "LocalSearch", "Greedy"]
+
+    def test_default_seeds_deterministic(self):
+        assert default_seeds(3) == default_seeds(3)
+        assert len(default_seeds(5)) == 5
+        assert len(set(default_seeds(5))) == 5
+
+    def test_make_tsajs_applies_parameters(self):
+        scheduler = make_tsajs(chain_length=10, min_temperature=1e-3)
+        assert scheduler.schedule_params.chain_length == 10
+        assert scheduler.schedule_params.min_temperature == 1e-3
+
+
+@pytest.mark.slow
+class TestFig3:
+    def test_quick_run_structure(self):
+        output = fig3_suboptimality.run(fig3_suboptimality.Fig3Settings.quick())
+        assert output.experiment_id == "fig3"
+        assert output.headers[0] == "workload [Mc]"
+        assert "Exhaustive" in output.headers
+        assert len(output.rows) == 2  # two workloads in quick mode
+        assert render_text(output)
+
+    def test_tsajs_close_to_exhaustive(self):
+        settings = fig3_suboptimality.Fig3Settings(
+            workloads_megacycles=(2000.0,),
+            n_seeds=3,
+            min_temperature=1e-3,
+        )
+        output = fig3_suboptimality.run(settings)
+        optimum = output.raw["series"]["Exhaustive"][0].mean
+        tsajs = output.raw["series"]["TSAJS"][0].mean
+        assert tsajs <= optimum + 1e-9
+        assert tsajs >= 0.98 * optimum  # near-optimal (paper: ~99%+)
+
+    def test_all_schemes_beat_nothing(self):
+        output = fig3_suboptimality.run(fig3_suboptimality.Fig3Settings.quick())
+        for name, series in output.raw["series"].items():
+            for stat in series:
+                assert stat.mean >= 0.0, name
+
+
+@pytest.mark.slow
+class TestFig4:
+    def test_quick_run_structure(self):
+        output = fig4_user_scale.run(fig4_user_scale.Fig4Settings.quick())
+        assert output.experiment_id == "fig4"
+        panel = output.raw["panels"][0]
+        assert panel["user_counts"] == [10, 30]
+        assert set(panel["series"]) == {"TSAJS", "hJTORA", "LocalSearch", "Greedy"}
+
+    def test_utility_grows_when_slots_plentiful(self):
+        # 10 -> 30 users on 27 slots: more offloaders, more utility.
+        output = fig4_user_scale.run(fig4_user_scale.Fig4Settings.quick())
+        series = output.raw["panels"][0]["series"]["TSAJS"]
+        assert series[1].mean > series[0].mean
+
+
+@pytest.mark.slow
+class TestFig5:
+    def test_utility_decreases_with_data_size(self):
+        output = fig5_data_size.run(fig5_data_size.Fig5Settings.quick())
+        series = output.raw["series"]["TSAJS"]
+        assert series[-1].mean < series[0].mean
+
+    def test_structure(self):
+        output = fig5_data_size.run(fig5_data_size.Fig5Settings.quick())
+        assert output.raw["data_sizes_kb"] == [100.0, 1000.0]
+        assert len(output.rows) == 2
+
+
+@pytest.mark.slow
+class TestFig6:
+    def test_utility_increases_with_workload(self):
+        output = fig6_workload.run(fig6_workload.Fig6Settings.quick())
+        series = output.raw["panels"][0]["series"]["TSAJS"]
+        assert series[-1].mean > series[0].mean
+
+    def test_structure(self):
+        output = fig6_workload.run(fig6_workload.Fig6Settings.quick())
+        assert output.raw["panels"][0]["n_users"] == 50
+
+
+@pytest.mark.slow
+class TestFig7:
+    def test_structure(self):
+        output = fig7_subchannels.run(fig7_subchannels.Fig7Settings.quick())
+        panel = output.raw["panels"][0]
+        assert panel["subchannel_counts"] == [2, 10]
+        assert len(output.rows) == 2
+
+
+@pytest.mark.slow
+class TestFig8:
+    def test_reports_wall_times(self):
+        output = fig8_runtime.run(fig8_runtime.Fig8Settings.quick())
+        panel = output.raw["panels"][0]
+        for name, series in panel["series"].items():
+            for stat in series:
+                assert stat.mean > 0.0, name
+
+    def test_hjtora_cost_grows_with_subchannels(self):
+        output = fig8_runtime.run(fig8_runtime.Fig8Settings.quick())
+        series = output.raw["panels"][0]["series"]["hJTORA"]
+        assert series[-1].mean > series[0].mean
+
+
+@pytest.mark.slow
+class TestFig9:
+    def test_structure(self):
+        output = fig9_preferences.run(fig9_preferences.Fig9Settings.quick())
+        panel = output.raw["panels"][0]
+        assert panel["n_users"] == 30
+        assert len(panel["energy"]) == 2
+        assert len(panel["delay"]) == 2
+
+    def test_preference_tradeoff_direction(self):
+        settings = fig9_preferences.Fig9Settings(
+            beta_time_values=(0.05, 0.95),
+            user_counts=(20,),
+            n_seeds=3,
+            min_temperature=1e-3,
+        )
+        output = fig9_preferences.run(settings)
+        panel = output.raw["panels"][0]
+        # Stronger time preference: lower delay, higher energy.
+        assert panel["delay"][1].mean < panel["delay"][0].mean
+        assert panel["energy"][1].mean > panel["energy"][0].mean
+
+
+@pytest.mark.slow
+class TestAblations:
+    def test_threshold_ablation_structure(self):
+        output = ablation_threshold.run(
+            ablation_threshold.AblationThresholdSettings.quick()
+        )
+        assert set(output.raw["series"]) == {"TTSA", "Vanilla-slow", "Vanilla-fast"}
+
+    def test_ttsa_cheaper_than_vanilla_slow(self):
+        output = ablation_threshold.run(
+            ablation_threshold.AblationThresholdSettings.quick()
+        )
+        series = output.raw["series"]
+        assert (
+            series["TTSA"]["evaluations"].mean
+            <= series["Vanilla-slow"]["evaluations"].mean
+        )
+
+    def test_neighborhood_ablation_structure(self):
+        output = ablation_neighborhood.run(
+            ablation_neighborhood.AblationNeighborhoodSettings.quick()
+        )
+        assert set(output.raw["series"]) == set(
+            ablation_neighborhood.NEIGHBORHOOD_VARIANTS
+        )
+
+    def test_cooling_ablation_structure(self):
+        output = ablation_cooling.run(
+            ablation_cooling.AblationCoolingSettings.quick()
+        )
+        assert len(output.raw["series"]) == 2
+        for entry in output.raw["series"].values():
+            assert entry["utility"].n == 2
+
+
+class TestSettingsValidation:
+    def test_quick_presets_exist_for_all(self):
+        for module in (
+            fig3_suboptimality,
+            fig4_user_scale,
+            fig5_data_size,
+            fig6_workload,
+            fig7_subchannels,
+            fig8_runtime,
+            fig9_preferences,
+            ablation_threshold,
+            ablation_neighborhood,
+            ablation_cooling,
+        ):
+            settings_cls = next(
+                getattr(module, name)
+                for name in dir(module)
+                if name.endswith("Settings") and not name.startswith("_")
+            )
+            quick = settings_cls.quick()
+            full = settings_cls()
+            assert quick != full  # quick must actually reduce something

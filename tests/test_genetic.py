@@ -1,0 +1,140 @@
+"""Tests for the genetic-algorithm scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import ExhaustiveScheduler, GeneticScheduler
+from repro.core.decision import OffloadingDecision
+from repro.core.objective import ObjectiveEvaluator
+from repro.core.scheduler import Scheduler
+from repro.errors import ConfigurationError
+from repro.sim.validation import validate_result
+from tests.conftest import make_scenario
+
+QUICK_GA = dict(population_size=20, generations=15, patience=5)
+
+
+class TestContract:
+    def test_protocol(self):
+        assert isinstance(GeneticScheduler(), Scheduler)
+        assert GeneticScheduler.name == "GA"
+
+    def test_result_feasible(self, small_random_scenario, rng):
+        result = GeneticScheduler(**QUICK_GA).schedule(small_random_scenario, rng)
+        validate_result(small_random_scenario, result)
+
+    def test_utility_matches_decision(self, small_random_scenario, rng):
+        result = GeneticScheduler(**QUICK_GA).schedule(small_random_scenario, rng)
+        evaluator = ObjectiveEvaluator(small_random_scenario)
+        assert evaluator.evaluate(result.decision) == pytest.approx(result.utility)
+
+    def test_never_negative(self, rng):
+        scenario = make_scenario(gains=np.full((4, 2, 2), 1e-17))
+        result = GeneticScheduler(**QUICK_GA).schedule(scenario, rng)
+        assert result.utility == 0.0
+        assert result.decision.n_offloaded() == 0
+
+    def test_deterministic_given_seed(self, small_random_scenario):
+        a = GeneticScheduler(**QUICK_GA).schedule(
+            small_random_scenario, np.random.default_rng(3)
+        )
+        b = GeneticScheduler(**QUICK_GA).schedule(
+            small_random_scenario, np.random.default_rng(3)
+        )
+        assert a.utility == b.utility
+        assert a.decision == b.decision
+
+    def test_empty_scenario(self, rng):
+        scenario = make_scenario(n_users=0)
+        result = GeneticScheduler(**QUICK_GA).schedule(scenario, rng)
+        assert result.utility == 0.0
+
+
+class TestQuality:
+    def test_finds_good_solutions_on_tiny_instance(self, rng):
+        scenario = make_scenario(
+            gains=np.random.default_rng(0).uniform(1e-10, 1e-8, size=(4, 2, 2))
+        )
+        optimum = ExhaustiveScheduler().schedule(scenario).utility
+        result = GeneticScheduler(
+            population_size=30, generations=40, patience=15
+        ).schedule(scenario, rng)
+        assert result.utility >= 0.95 * optimum
+
+    def test_more_generations_never_worse_on_average(self):
+        scenario = make_scenario(
+            n_users=8,
+            n_servers=2,
+            n_subbands=2,
+            gains=np.random.default_rng(1).uniform(1e-10, 1e-8, size=(8, 2, 2)),
+        )
+        means = {}
+        for generations in (2, 40):
+            values = [
+                GeneticScheduler(
+                    population_size=20, generations=generations, patience=40
+                ).schedule(scenario, np.random.default_rng(seed)).utility
+                for seed in range(5)
+            ]
+            means[generations] = np.mean(values)
+        assert means[40] >= means[2] - 1e-9
+
+
+class TestOperators:
+    def test_crossover_produces_feasible_children(self, rng):
+        scheduler = GeneticScheduler()
+        for _ in range(100):
+            parent_a = OffloadingDecision.random_feasible(6, 3, 2, rng)
+            parent_b = OffloadingDecision.random_feasible(6, 3, 2, rng)
+            child = scheduler._crossover(parent_a, parent_b, rng)
+            assert child.is_feasible()
+
+    def test_crossover_inherits_only_parent_servers(self, rng):
+        scheduler = GeneticScheduler()
+        parent_a = OffloadingDecision.all_local(4, 3, 2)
+        parent_a.assign(0, 0, 0)
+        parent_b = OffloadingDecision.all_local(4, 3, 2)
+        parent_b.assign(0, 1, 1)
+        for _ in range(50):
+            child = scheduler._crossover(parent_a, parent_b, rng)
+            if child.is_offloaded(0):
+                assert int(child.server[0]) in (0, 1)
+            # Users local in both parents stay local.
+            for user in (1, 2, 3):
+                assert not child.is_offloaded(user)
+
+    def test_conflict_repair_keeps_one_user_per_slot(self, rng):
+        scheduler = GeneticScheduler()
+        # Both parents put different users on the SAME slot.
+        parent_a = OffloadingDecision.all_local(2, 1, 1)
+        parent_a.assign(0, 0, 0)
+        parent_b = OffloadingDecision.all_local(2, 1, 1)
+        parent_b.assign(1, 0, 0)
+        for _ in range(50):
+            child = scheduler._crossover(parent_a, parent_b, rng)
+            assert child.is_feasible()
+            assert child.n_offloaded() <= 1
+
+
+class TestValidationErrors:
+    def test_rejects_bad_population(self):
+        with pytest.raises(ConfigurationError):
+            GeneticScheduler(population_size=1)
+
+    def test_rejects_bad_generations(self):
+        with pytest.raises(ConfigurationError):
+            GeneticScheduler(generations=0)
+
+    def test_rejects_bad_tournament(self):
+        with pytest.raises(ConfigurationError):
+            GeneticScheduler(population_size=10, tournament_size=11)
+        with pytest.raises(ConfigurationError):
+            GeneticScheduler(tournament_size=0)
+
+    def test_rejects_bad_mutation_probability(self):
+        with pytest.raises(ConfigurationError):
+            GeneticScheduler(mutation_probability=1.5)
+
+    def test_rejects_bad_patience(self):
+        with pytest.raises(ConfigurationError):
+            GeneticScheduler(patience=0)

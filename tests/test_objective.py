@@ -1,0 +1,212 @@
+"""Tests for the objective evaluator (Eq. 8-11, 16-19, 24)."""
+
+import numpy as np
+import pytest
+
+from repro.core.allocation import kkt_allocation
+from repro.core.decision import LOCAL, OffloadingDecision
+from repro.core.objective import ObjectiveEvaluator
+from repro.errors import ConfigurationError
+from tests.conftest import make_scenario
+
+NOISE = 1e-13
+POWER = 0.01
+GAIN = 1e-9
+
+
+class TestFastPath:
+    def test_all_local_is_zero(self, tiny_scenario):
+        evaluator = ObjectiveEvaluator(tiny_scenario)
+        decision = OffloadingDecision.all_local(4, 2, 2)
+        assert evaluator.evaluate(decision) == 0.0
+
+    def test_single_user_hand_computation(self, tiny_scenario):
+        """Recompute Eq. (24) by hand for one offloaded user."""
+        evaluator = ObjectiveEvaluator(tiny_scenario)
+        decision = OffloadingDecision.all_local(4, 2, 2)
+        decision.assign(0, 0, 0)
+
+        width = 1e7  # 20 MHz / 2 bands
+        sinr = POWER * GAIN / NOISE  # no interference
+        se = np.log2(1.0 + sinr)
+        t_local, e_local = 1.0, 5.0
+        d, w = 1e6, 1e9
+        # Gamma: (phi + psi * p) / log2(1 + sinr)
+        phi = 0.5 * d / (t_local * width)
+        psi = 0.5 * d / (e_local * width)
+        gamma_cost = (phi + psi * POWER) / se
+        # Lambda: eta / f_s with a single user holding the full server.
+        eta = 0.5 * 1e9
+        lambda_cost = eta / 20e9
+        expected = 1.0 - gamma_cost - lambda_cost
+
+        assert evaluator.evaluate(decision) == pytest.approx(expected, rel=1e-12)
+
+    def test_counts_evaluations(self, tiny_scenario):
+        evaluator = ObjectiveEvaluator(tiny_scenario)
+        decision = OffloadingDecision.all_local(4, 2, 2)
+        for _ in range(5):
+            evaluator.evaluate(decision)
+        assert evaluator.evaluations == 5
+
+    def test_more_beneficial_users_raise_utility(self, tiny_scenario):
+        evaluator = ObjectiveEvaluator(tiny_scenario)
+        decision = OffloadingDecision.all_local(4, 2, 2)
+        decision.assign(0, 0, 0)
+        one = evaluator.evaluate(decision)
+        decision.assign(1, 1, 1)  # different server, different band
+        two = evaluator.evaluate(decision)
+        assert two > one
+
+    def test_evaluate_assignment_matches_decision(self, tiny_scenario):
+        evaluator = ObjectiveEvaluator(tiny_scenario)
+        decision = OffloadingDecision.all_local(4, 2, 2)
+        decision.assign(2, 1, 0)
+        via_decision = evaluator.evaluate(decision)
+        via_arrays = evaluator.evaluate_assignment(decision.server, decision.channel)
+        assert via_decision == via_arrays
+
+
+class TestExplicitPathIdentity:
+    """Eq. (11) with F = F* must equal Eq. (24) for every decision."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_identity_on_random_decisions(self, small_random_scenario, seed):
+        scenario = small_random_scenario
+        rng = np.random.default_rng(seed)
+        evaluator = ObjectiveEvaluator(scenario)
+        decision = OffloadingDecision.random_feasible(
+            scenario.n_users, scenario.n_servers, scenario.n_subbands, rng
+        )
+        fast = evaluator.evaluate(decision)
+        breakdown = evaluator.breakdown(decision)
+        assert breakdown.system_utility == pytest.approx(fast, rel=1e-10)
+
+    def test_identity_on_heterogeneous_population(self):
+        from repro.tasks.workload import WorkloadSpec, heterogeneous_population
+        from repro.tasks.server import MecServer
+        from repro.sim.scenario import Scenario
+
+        rng = np.random.default_rng(17)
+        users = heterogeneous_population(
+            6,
+            WorkloadSpec(
+                input_bits=(1e5, 5e6),
+                cycles=(5e8, 4e9),
+                cpu_hz=(0.5e9, 2e9),
+                tx_power_watts=(0.005, 0.02),
+                kappa=5e-27,
+                beta_time=(0.1, 0.9),
+                operator_weight=(0.2, 1.0),
+            ),
+            rng,
+        )
+        scenario = Scenario.from_parts(
+            users=users,
+            servers=[MecServer(cpu_hz=15e9), MecServer(cpu_hz=25e9)],
+            gains=rng.uniform(1e-11, 1e-8, size=(6, 2, 3)),
+            total_bandwidth_hz=20e6,
+            noise_watts=1e-13,
+        )
+        evaluator = ObjectiveEvaluator(scenario)
+        decision = OffloadingDecision.random_feasible(6, 2, 3, rng)
+        assert evaluator.breakdown(decision).system_utility == pytest.approx(
+            evaluator.evaluate(decision), rel=1e-10
+        )
+
+    def test_suboptimal_allocation_scores_lower(self, tiny_scenario):
+        evaluator = ObjectiveEvaluator(tiny_scenario)
+        decision = OffloadingDecision.all_local(4, 2, 2)
+        decision.assign(0, 0, 0)
+        decision.assign(1, 0, 1)
+        optimal = evaluator.breakdown(decision).system_utility
+        lopsided = np.zeros((4, 2))
+        lopsided[0, 0] = 18e9
+        lopsided[1, 0] = 2e9
+        skewed = evaluator.breakdown(decision, allocation=lopsided).system_utility
+        assert skewed < optimal
+
+
+class TestBreakdown:
+    def test_local_users_experience_local_costs(self, tiny_scenario):
+        evaluator = ObjectiveEvaluator(tiny_scenario)
+        decision = OffloadingDecision.all_local(4, 2, 2)
+        breakdown = evaluator.breakdown(decision)
+        np.testing.assert_allclose(breakdown.time_s, np.ones(4))
+        np.testing.assert_allclose(breakdown.energy_j, np.full(4, 5.0))
+        np.testing.assert_array_equal(breakdown.utility, np.zeros(4))
+        assert breakdown.n_offloaded == 0
+
+    def test_offloaded_user_components(self, tiny_scenario):
+        evaluator = ObjectiveEvaluator(tiny_scenario)
+        decision = OffloadingDecision.all_local(4, 2, 2)
+        decision.assign(0, 0, 0)
+        breakdown = evaluator.breakdown(decision)
+
+        width = 1e7
+        rate = width * np.log2(1.0 + POWER * GAIN / NOISE)
+        assert breakdown.rate_bps[0] == pytest.approx(rate)
+        assert breakdown.upload_time_s[0] == pytest.approx(1e6 / rate)
+        assert breakdown.execute_time_s[0] == pytest.approx(1e9 / 20e9)
+        assert breakdown.time_s[0] == pytest.approx(
+            breakdown.upload_time_s[0] + breakdown.execute_time_s[0]
+        )
+        assert breakdown.energy_j[0] == pytest.approx(
+            POWER * breakdown.upload_time_s[0]
+        )
+        # Eq. (10) by hand.
+        expected_utility = 0.5 * (1.0 - breakdown.time_s[0]) / 1.0 + 0.5 * (
+            5.0 - breakdown.energy_j[0]
+        ) / 5.0
+        assert breakdown.utility[0] == pytest.approx(expected_utility)
+
+    def test_breakdown_uses_kkt_by_default(self, tiny_scenario):
+        evaluator = ObjectiveEvaluator(tiny_scenario)
+        decision = OffloadingDecision.all_local(4, 2, 2)
+        decision.assign(0, 0, 0)
+        breakdown = evaluator.breakdown(decision)
+        expected = kkt_allocation(tiny_scenario, decision)
+        np.testing.assert_array_equal(breakdown.allocation, expected)
+
+    def test_rejects_bad_allocation_shape(self, tiny_scenario):
+        evaluator = ObjectiveEvaluator(tiny_scenario)
+        decision = OffloadingDecision.all_local(4, 2, 2)
+        with pytest.raises(ConfigurationError):
+            evaluator.breakdown(decision, allocation=np.zeros((2, 2)))
+
+    def test_operator_weight_scales_system_utility(self):
+        heavy = make_scenario(operator_weight=1.0)
+        light = make_scenario(operator_weight=0.5)
+        decision = OffloadingDecision.all_local(4, 2, 2)
+        decision.assign(0, 0, 0)
+        utility_heavy = ObjectiveEvaluator(heavy).breakdown(decision).system_utility
+        utility_light = ObjectiveEvaluator(light).breakdown(decision).system_utility
+        assert utility_heavy == pytest.approx(2.0 * utility_light)
+
+
+class TestInterferenceCoupling:
+    def test_cochannel_users_reduce_combined_utility(self, tiny_scenario):
+        """Eq. (3)'s coupling: same band across cells hurts both users."""
+        evaluator = ObjectiveEvaluator(tiny_scenario)
+
+        same_band = OffloadingDecision.all_local(4, 2, 2)
+        same_band.assign(0, 0, 0)
+        same_band.assign(1, 1, 0)
+
+        split_bands = OffloadingDecision.all_local(4, 2, 2)
+        split_bands.assign(0, 0, 0)
+        split_bands.assign(1, 1, 1)
+
+        assert evaluator.evaluate(split_bands) > evaluator.evaluate(same_band)
+
+    def test_local_marker_user_ignored_in_interference(self, tiny_scenario):
+        evaluator = ObjectiveEvaluator(tiny_scenario)
+        one = OffloadingDecision.all_local(4, 2, 2)
+        one.assign(0, 0, 0)
+        value_alone = evaluator.evaluate(one)
+        # Adding local users must not change anything.
+        server = one.server.copy()
+        channel = one.channel.copy()
+        server[2] = LOCAL
+        channel[2] = LOCAL
+        assert evaluator.evaluate_assignment(server, channel) == value_alone

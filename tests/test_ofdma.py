@@ -1,0 +1,47 @@
+"""Tests for OFDMA sub-band bookkeeping."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.ofdma import OfdmaGrid
+
+
+class TestOfdmaGrid:
+    def test_paper_default_subband_width(self):
+        grid = OfdmaGrid(total_bandwidth_hz=20e6, n_subbands=3)
+        assert grid.subband_width_hz == pytest.approx(20e6 / 3)
+
+    def test_single_band_keeps_full_width(self):
+        grid = OfdmaGrid(total_bandwidth_hz=20e6, n_subbands=1)
+        assert grid.subband_width_hz == pytest.approx(20e6)
+
+    def test_width_scales_inversely_with_bands(self):
+        wide = OfdmaGrid(20e6, 2)
+        narrow = OfdmaGrid(20e6, 10)
+        assert wide.subband_width_hz == pytest.approx(5 * narrow.subband_width_hz)
+
+    def test_capacity_per_station(self):
+        assert OfdmaGrid(20e6, 3).capacity_per_station() == 3
+
+    def test_total_capacity(self):
+        assert OfdmaGrid(20e6, 3).total_capacity(9) == 27
+
+    def test_total_capacity_zero_stations(self):
+        assert OfdmaGrid(20e6, 3).total_capacity(0) == 0
+
+    def test_total_capacity_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            OfdmaGrid(20e6, 3).total_capacity(-1)
+
+    def test_rejects_zero_bandwidth(self):
+        with pytest.raises(ConfigurationError):
+            OfdmaGrid(0.0, 3)
+
+    def test_rejects_zero_subbands(self):
+        with pytest.raises(ConfigurationError):
+            OfdmaGrid(20e6, 0)
+
+    def test_frozen(self):
+        grid = OfdmaGrid(20e6, 3)
+        with pytest.raises(AttributeError):
+            grid.n_subbands = 5

@@ -1,0 +1,94 @@
+"""Tests for the optimality-gap measurement tool."""
+
+import pytest
+
+from repro.analysis.optimality import GapReport, measure_optimality_gap
+from repro.baselines import AllLocalScheduler, GreedyScheduler, HJtoraScheduler
+from repro.core.annealing import AnnealingSchedule
+from repro.core.scheduler import ScheduleResult, TsajsScheduler
+from repro.errors import ConfigurationError
+from repro.sim.config import SimulationConfig
+
+#: A tiny instance family so the exhaustive sweep stays cheap in tests.
+TINY = SimulationConfig(n_users=4, n_servers=2, n_subbands=2)
+
+
+class TestGapReport:
+    def test_statistics(self):
+        report = GapReport("X", gaps=[0.0, 0.1, 0.2], tolerance=1e-9)
+        assert report.mean_gap == pytest.approx(0.1)
+        assert report.max_gap == pytest.approx(0.2)
+        assert report.optimal_rate == pytest.approx(1 / 3)
+
+    def test_all_optimal(self):
+        report = GapReport("X", gaps=[0.0, 0.0], tolerance=1e-9)
+        assert report.optimal_rate == 1.0
+        assert report.max_gap == 0.0
+
+
+class TestMeasureOptimalityGap:
+    def test_hjtora_near_optimal_on_tiny_instances(self):
+        report = measure_optimality_gap(
+            HJtoraScheduler(), config=TINY, seeds=(0, 1, 2)
+        )
+        assert report.scheduler_name == "hJTORA"
+        assert len(report.gaps) == 3
+        assert report.mean_gap < 0.05
+
+    def test_tsajs_hits_optimum(self):
+        scheduler = TsajsScheduler(
+            schedule=AnnealingSchedule(min_temperature=1e-3)
+        )
+        report = measure_optimality_gap(scheduler, config=TINY, seeds=(0, 1, 2))
+        assert report.optimal_rate >= 2 / 3
+        assert report.max_gap < 0.02
+
+    def test_all_local_has_full_gap(self):
+        report = measure_optimality_gap(
+            AllLocalScheduler(), config=TINY, seeds=(0,)
+        )
+        # The optimum is positive on this family, AllLocal scores 0.
+        assert report.gaps[0] == pytest.approx(1.0)
+        assert report.optimal_rate == 0.0
+
+    def test_greedy_between_all_local_and_optimal(self):
+        greedy = measure_optimality_gap(GreedyScheduler(), config=TINY, seeds=(0, 1))
+        assert 0.0 <= greedy.mean_gap < 1.0
+
+    def test_rejects_empty_seeds(self):
+        with pytest.raises(ConfigurationError):
+            measure_optimality_gap(GreedyScheduler(), config=TINY, seeds=())
+
+    def test_detects_objective_mismatch(self):
+        class Cheater:
+            """Returns an impossible utility."""
+
+            name = "Cheater"
+
+            def schedule(self, scenario, rng=None):
+                import numpy as np
+
+                from repro.core.allocation import kkt_allocation
+                from repro.core.decision import OffloadingDecision
+
+                decision = OffloadingDecision.all_local(
+                    scenario.n_users, scenario.n_servers, scenario.n_subbands
+                )
+                return ScheduleResult(
+                    decision=decision,
+                    allocation=kkt_allocation(scenario, decision),
+                    utility=1e9,
+                    evaluations=1,
+                    wall_time_s=0.0,
+                )
+
+        with pytest.raises(ConfigurationError):
+            measure_optimality_gap(Cheater(), config=TINY, seeds=(0,))
+
+    def test_default_config_is_fig3_network(self):
+        # Just verify the default family dimensions; do not run it (the
+        # exhaustive sweep on U=6/S=4/N=2 is seconds per seed).
+        import inspect
+
+        signature = inspect.signature(measure_optimality_gap)
+        assert signature.parameters["config"].default is None

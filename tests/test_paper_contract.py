@@ -1,0 +1,118 @@
+"""The paper contract: every constant the paper states, in one place.
+
+If any of these tests fails, the library no longer reproduces the paper
+as written — regardless of what the experiment tables say.  Each block
+cites the section of the paper the values come from.
+"""
+
+import pytest
+
+from repro.core.annealing import AnnealingSchedule
+from repro.core.neighborhood import NeighborhoodSampler
+from repro.experiments.common import SCHEME_ORDER
+from repro.experiments.registry import EXPERIMENTS
+from repro.sim.config import SimulationConfig, small_network_config
+
+
+class TestSectionVParameters:
+    """Sec. V, first two paragraphs."""
+
+    def test_network_geometry(self):
+        config = SimulationConfig()
+        assert config.n_servers == 9  # "S = 9 cells"
+        assert config.inter_site_distance_km == 1.0  # "maintained at 1 km"
+
+    def test_pathloss_model(self):
+        config = SimulationConfig()
+        # "L[dB] = 140.7 + 36.7 log10 d[km]"
+        assert config.pathloss_intercept_db == 140.7
+        assert config.pathloss_slope_db == 36.7
+        # "lognormal shadowing standard deviation fixed at 8 dB"
+        assert config.shadowing_sigma_db == 8.0
+
+    def test_radio_parameters(self):
+        config = SimulationConfig()
+        assert config.tx_power_dbm == 10.0  # "P_u = 10 dBm"
+        assert config.bandwidth_mhz == 20.0  # "B = 20 MHz"
+        assert config.noise_dbm == -100.0  # "sigma^2 = -100 dBm"
+        assert config.n_subbands == 3  # "the number of subbands is typically set to 3"
+
+    def test_compute_parameters(self):
+        config = SimulationConfig()
+        assert config.server_cpu_ghz == 20.0  # "f_s = 20 GHz"
+        assert config.user_cpu_ghz == 1.0  # "f_u = 1 GHz"
+        assert config.kappa == 5e-27  # "kappa = 5e-27"
+
+    def test_task_parameters(self):
+        config = SimulationConfig()
+        assert config.input_kb == 420.0  # "standard input size d_u = 420 KB"
+        assert config.beta_time == 0.5 and config.beta_energy == 0.5
+        assert config.operator_weight == 1.0  # "lambda_u = 1"
+
+
+class TestAlgorithm1Constants:
+    """Algorithm 1, lines 3-4."""
+
+    def test_schedule_defaults(self):
+        schedule = AnnealingSchedule()
+        assert schedule.initial_temperature is None  # "T <- N"
+        assert schedule.min_temperature == 1e-9  # "T_min <- 10^-9"
+        assert schedule.alpha_slow == 0.97  # "alpha_1 <- 0.97"
+        assert schedule.alpha_fast == 0.90  # "alpha_2 <- 0.90"
+        assert schedule.chain_length == 30  # "L <- 30"
+        # "maxCount <- 1.75 * L"
+        assert schedule.threshold_factor == 1.75
+        assert schedule.max_count == pytest.approx(1.75 * 30)
+
+
+class TestAlgorithm2Constants:
+    """Algorithm 2, lines 6, 7 and 17."""
+
+    def test_branch_thresholds(self):
+        sampler = NeighborhoodSampler()
+        assert sampler.toggle_below == 0.05  # "else" of "rand > 0.05"
+        assert sampler.swap_below == 0.20  # "if rand > 0.2"
+        assert sampler.server_move_below == 0.75  # "if rand < 0.75"
+
+
+class TestFig3Setting:
+    """Sec. V-A: the confined exhaustive-search network."""
+
+    def test_small_network(self):
+        config = small_network_config()
+        assert config.n_users == 6  # "U = 6 users"
+        assert config.n_servers == 4  # "S = 4 cells"
+        assert config.n_subbands == 2  # "N = 2 subbands"
+
+
+class TestComparisonSet:
+    """Sec. V: the five compared schemes, in the paper's order."""
+
+    def test_scheme_order(self):
+        assert SCHEME_ORDER == (
+            "Exhaustive",
+            "TSAJS",
+            "hJTORA",
+            "LocalSearch",
+            "Greedy",
+        )
+
+    def test_every_figure_has_a_driver(self):
+        for figure in ("fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9"):
+            assert figure in EXPERIMENTS, f"missing driver for {figure}"
+
+
+class TestFig9Sweep:
+    """Sec. V-E: beta_time "ranged from 0.05 to 0.95"."""
+
+    def test_preference_sweep_bounds(self):
+        from repro.experiments.fig9_preferences import Fig9Settings
+
+        betas = Fig9Settings().beta_time_values
+        assert min(betas) == 0.05
+        assert max(betas) == 0.95
+
+    def test_three_user_scales(self):
+        from repro.experiments.fig9_preferences import Fig9Settings
+
+        assert len(Fig9Settings().user_counts) == 3

@@ -1,0 +1,134 @@
+"""Tests for the partial-offloading extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.decision import OffloadingDecision
+from repro.core.objective import ObjectiveEvaluator
+from repro.errors import ConfigurationError
+from repro.extensions.partial import optimal_fractions
+from tests.conftest import make_scenario
+
+
+def offloaded(scenario, assignments):
+    decision = OffloadingDecision.all_local(
+        scenario.n_users, scenario.n_servers, scenario.n_subbands
+    )
+    for u, s, j in assignments:
+        decision.assign(u, s, j)
+    return decision
+
+
+class TestClosedForm:
+    def test_all_local_gives_zero(self, tiny_scenario):
+        decision = offloaded(tiny_scenario, [])
+        result = optimal_fractions(tiny_scenario, decision)
+        assert result.system_utility == 0.0
+        assert result.full_offload_utility == 0.0
+        np.testing.assert_array_equal(result.fractions, np.zeros(4))
+
+    def test_full_offload_value_matches_paper_objective(self, tiny_scenario):
+        """J(rho=1) must equal the paper's atomic utility exactly."""
+        decision = offloaded(tiny_scenario, [(0, 0, 0), (1, 1, 1)])
+        result = optimal_fractions(tiny_scenario, decision)
+        paper = ObjectiveEvaluator(tiny_scenario).breakdown(decision)
+        assert result.full_offload_utility == pytest.approx(
+            paper.system_utility, rel=1e-12
+        )
+
+    def test_partition_never_loses(self, small_random_scenario, rng):
+        """rho=1 is always a candidate, so partial >= atomic."""
+        for _ in range(10):
+            decision = OffloadingDecision.random_feasible(
+                small_random_scenario.n_users,
+                small_random_scenario.n_servers,
+                small_random_scenario.n_subbands,
+                rng,
+            )
+            result = optimal_fractions(small_random_scenario, decision)
+            assert result.partition_gain >= -1e-12
+            assert result.system_utility >= result.full_offload_utility - 1e-12
+
+    def test_fractions_in_unit_interval(self, small_random_scenario, rng):
+        decision = OffloadingDecision.random_feasible(
+            small_random_scenario.n_users,
+            small_random_scenario.n_servers,
+            small_random_scenario.n_subbands,
+            rng,
+        )
+        result = optimal_fractions(small_random_scenario, decision)
+        assert np.all(result.fractions >= 0.0)
+        assert np.all(result.fractions <= 1.0)
+        # Users kept local by the decision have rho = 0.
+        for u in range(small_random_scenario.n_users):
+            if not decision.is_offloaded(u):
+                assert result.fractions[u] == 0.0
+
+    def test_kink_beats_endpoints_by_grid_search(self, tiny_scenario):
+        """The 3-candidate closed form must match a dense grid search."""
+        decision = offloaded(tiny_scenario, [(0, 0, 0)])
+        result = optimal_fractions(tiny_scenario, decision)
+
+        # Recompute J(rho) on a dense grid for user 0.
+        from repro.core.allocation import kkt_allocation
+        from repro.net.sinr import compute_link_stats
+
+        sc = tiny_scenario
+        allocation = kkt_allocation(sc, decision)
+        stats = compute_link_stats(
+            sc.gains, sc.tx_power_watts, sc.noise_watts,
+            sc.subband_width_hz, decision.server, decision.channel,
+        )
+        round_trip = sc.input_bits[0] / stats.rate_bps[0] + sc.cycles[0] / allocation[0, 0]
+        tx_energy = sc.tx_power_watts[0] * sc.input_bits[0] / stats.rate_bps[0]
+
+        def benefit(rho):
+            completion = max((1 - rho) * sc.local_time_s[0], rho * round_trip)
+            device = (1 - rho) * sc.local_energy_j[0] + rho * tx_energy
+            return 0.5 * (sc.local_time_s[0] - completion) / sc.local_time_s[0] + 0.5 * (
+                sc.local_energy_j[0] - device
+            ) / sc.local_energy_j[0]
+
+        grid_best = max(benefit(rho) for rho in np.linspace(0, 1, 10001))
+        assert result.utility[0] == pytest.approx(grid_best, abs=1e-8)
+
+    def test_time_and_energy_consistent_with_fraction(self, tiny_scenario):
+        decision = offloaded(tiny_scenario, [(0, 0, 0)])
+        result = optimal_fractions(tiny_scenario, decision)
+        rho = result.fractions[0]
+        assert 0.0 < rho <= 1.0
+        # Completion time never exceeds local execution at the optimum
+        # (rho=0 would otherwise win).
+        assert result.time_s[0] <= tiny_scenario.local_time_s[0] + 1e-12
+        assert result.energy_j[0] <= tiny_scenario.local_energy_j[0] + 1e-12
+
+    def test_terrible_channel_falls_back_to_local(self):
+        scenario = make_scenario(gains=np.full((4, 2, 2), 1e-18))
+        decision = offloaded(scenario, [(0, 0, 0)])
+        result = optimal_fractions(scenario, decision)
+        # With a hopeless uplink the best fraction is ~0 (energy term
+        # alone cannot justify the glacial upload).
+        assert result.fractions[0] < 0.05
+        assert result.utility[0] >= 0.0
+
+    def test_balanced_kink_for_symmetric_user(self, tiny_scenario):
+        # With a strong channel the round trip is much shorter than
+        # t_local, pushing the kink (and thus rho*) close to 1.
+        decision = offloaded(tiny_scenario, [(0, 0, 0)])
+        result = optimal_fractions(tiny_scenario, decision)
+        assert result.fractions[0] > 0.5
+
+    def test_rejects_bad_allocation_shape(self, tiny_scenario):
+        decision = offloaded(tiny_scenario, [(0, 0, 0)])
+        with pytest.raises(ConfigurationError):
+            optimal_fractions(tiny_scenario, decision, allocation=np.zeros((2, 2)))
+
+    def test_operator_weight_scales_system_utility(self):
+        heavy = make_scenario(operator_weight=1.0)
+        light = make_scenario(operator_weight=0.5)
+        for scenario, factor in ((heavy, 1.0), (light, 0.5)):
+            decision = offloaded(scenario, [(0, 0, 0)])
+            result = optimal_fractions(scenario, decision)
+            assert result.system_utility == pytest.approx(
+                factor * result.utility[0]
+            )

@@ -1,0 +1,97 @@
+"""Tests for the path-loss and shadowing models."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.pathloss import LogNormalShadowing, UrbanMacroPathLoss
+
+
+class TestUrbanMacroPathLoss:
+    def test_loss_at_one_km_is_intercept(self):
+        model = UrbanMacroPathLoss()
+        assert model.loss_db(np.array(1.0)) == pytest.approx(140.7)
+
+    def test_loss_at_hundred_meters(self):
+        model = UrbanMacroPathLoss()
+        # 140.7 + 36.7 * log10(0.1) = 140.7 - 36.7 = 104.0
+        assert model.loss_db(np.array(0.1)) == pytest.approx(104.0)
+
+    def test_slope_per_decade(self):
+        model = UrbanMacroPathLoss()
+        near = model.loss_db(np.array(0.1))
+        far = model.loss_db(np.array(1.0))
+        assert far - near == pytest.approx(36.7)
+
+    def test_custom_coefficients(self):
+        model = UrbanMacroPathLoss(intercept_db=120.0, slope_db=20.0)
+        assert model.loss_db(np.array(10.0)) == pytest.approx(140.0)
+
+    def test_gain_is_inverse_of_loss(self):
+        model = UrbanMacroPathLoss()
+        distance = np.array(0.5)
+        gain = model.gain_linear(distance)
+        assert gain == pytest.approx(10.0 ** (-model.loss_db(distance) / 10.0))
+
+    def test_gain_decreases_with_distance(self):
+        model = UrbanMacroPathLoss()
+        gains = model.gain_linear(np.array([0.05, 0.1, 0.5, 1.0, 2.0]))
+        assert np.all(np.diff(gains) < 0)
+
+    def test_elementwise_on_matrix(self):
+        model = UrbanMacroPathLoss()
+        distances = np.array([[0.1, 1.0], [0.5, 2.0]])
+        losses = model.loss_db(distances)
+        assert losses.shape == (2, 2)
+        assert losses[0, 0] == pytest.approx(104.0)
+
+    def test_rejects_zero_distance(self):
+        model = UrbanMacroPathLoss()
+        with pytest.raises(ConfigurationError):
+            model.loss_db(np.array([1.0, 0.0]))
+
+    def test_rejects_negative_distance(self):
+        model = UrbanMacroPathLoss()
+        with pytest.raises(ConfigurationError):
+            model.gain_linear(np.array(-0.1))
+
+
+class TestLogNormalShadowing:
+    def test_zero_sigma_yields_zero_db(self, rng):
+        model = LogNormalShadowing(sigma_db=0.0)
+        samples = model.sample_db((100,), rng)
+        np.testing.assert_array_equal(samples, np.zeros(100))
+
+    def test_zero_sigma_yields_unity_linear(self, rng):
+        model = LogNormalShadowing(sigma_db=0.0)
+        np.testing.assert_array_equal(model.sample_linear((5,), rng), np.ones(5))
+
+    def test_sample_shape(self, rng):
+        model = LogNormalShadowing(sigma_db=8.0)
+        assert model.sample_db((3, 4), rng).shape == (3, 4)
+
+    def test_sample_statistics(self):
+        model = LogNormalShadowing(sigma_db=8.0)
+        samples = model.sample_db((20000,), np.random.default_rng(0))
+        assert samples.mean() == pytest.approx(0.0, abs=0.2)
+        assert samples.std() == pytest.approx(8.0, rel=0.05)
+
+    def test_linear_samples_positive(self, rng):
+        model = LogNormalShadowing(sigma_db=8.0)
+        assert np.all(model.sample_linear((1000,), rng) > 0.0)
+
+    def test_linear_matches_db(self):
+        model = LogNormalShadowing(sigma_db=8.0)
+        db = model.sample_db((50,), np.random.default_rng(3))
+        linear = model.sample_linear((50,), np.random.default_rng(3))
+        np.testing.assert_allclose(linear, 10.0 ** (db / 10.0))
+
+    def test_rejects_negative_sigma(self):
+        with pytest.raises(ConfigurationError):
+            LogNormalShadowing(sigma_db=-1.0)
+
+    def test_reproducible_with_same_seed(self):
+        model = LogNormalShadowing(sigma_db=8.0)
+        a = model.sample_db((10,), np.random.default_rng(42))
+        b = model.sample_db((10,), np.random.default_rng(42))
+        np.testing.assert_array_equal(a, b)

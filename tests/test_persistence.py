@@ -1,0 +1,110 @@
+"""Tests for JSON persistence of experiment outputs."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.persistence import (
+    FORMAT_VERSION,
+    load_output,
+    output_from_dict,
+    output_to_dict,
+    save_output,
+)
+from repro.experiments.report import ExperimentOutput
+from repro.sim.stats import SummaryStats, summarize
+
+
+def sample_output():
+    return ExperimentOutput(
+        experiment_id="demo",
+        title="Demo",
+        headers=["x", "y"],
+        rows=[["1", "2.0"], ["3", "4.0"]],
+        raw={
+            "points": [1, 3],
+            "series": {
+                "TSAJS": [summarize([1.0, 2.0, 3.0]), summarize([4.0])],
+            },
+            "note": "hello",
+            "nested": {"flag": True, "nothing": None},
+        },
+    )
+
+
+class TestRoundTrip:
+    def test_dict_roundtrip(self):
+        original = sample_output()
+        rebuilt = output_from_dict(output_to_dict(original))
+        assert rebuilt.experiment_id == original.experiment_id
+        assert rebuilt.title == original.title
+        assert rebuilt.headers == original.headers
+        assert rebuilt.rows == original.rows
+        assert rebuilt.raw["points"] == [1, 3]
+        assert rebuilt.raw["note"] == "hello"
+        assert rebuilt.raw["nested"] == {"flag": True, "nothing": None}
+
+    def test_summary_stats_restored_exactly(self):
+        original = sample_output()
+        rebuilt = output_from_dict(output_to_dict(original))
+        stats = rebuilt.raw["series"]["TSAJS"][0]
+        assert isinstance(stats, SummaryStats)
+        assert stats == original.raw["series"]["TSAJS"][0]
+
+    def test_file_roundtrip(self, tmp_path):
+        original = sample_output()
+        path = tmp_path / "demo.json"
+        save_output(original, path)
+        rebuilt = load_output(path)
+        assert rebuilt.rows == original.rows
+        assert rebuilt.raw["series"]["TSAJS"][1].mean == 4.0
+
+    def test_file_is_valid_json(self, tmp_path):
+        path = tmp_path / "demo.json"
+        save_output(sample_output(), path)
+        payload = json.loads(path.read_text())
+        assert payload["format_version"] == FORMAT_VERSION
+        assert payload["experiment_id"] == "demo"
+
+    def test_tuples_become_lists(self):
+        output = ExperimentOutput(
+            experiment_id="demo",
+            title="Demo",
+            headers=["a"],
+            rows=[["1"]],
+            raw={"tuple": (1, 2)},
+        )
+        rebuilt = output_from_dict(output_to_dict(output))
+        assert rebuilt.raw["tuple"] == [1, 2]
+
+
+class TestValidation:
+    def test_rejects_unknown_version(self):
+        payload = output_to_dict(sample_output())
+        payload["format_version"] = 999
+        with pytest.raises(ConfigurationError):
+            output_from_dict(payload)
+
+    def test_rejects_unserializable_raw(self):
+        output = ExperimentOutput(
+            experiment_id="demo",
+            title="Demo",
+            headers=["a"],
+            rows=[["1"]],
+            raw={"bad": object()},
+        )
+        with pytest.raises(ConfigurationError):
+            output_to_dict(output)
+
+
+class TestCliIntegration:
+    def test_run_with_json_flag(self, tmp_path, capsys):
+        from repro.cli import main
+
+        json_path = tmp_path / "fig9.json"
+        assert main(["run", "fig9", "--quick", "--json", str(json_path)]) == 0
+        rebuilt = load_output(json_path)
+        assert rebuilt.experiment_id == "fig9"
+        assert rebuilt.raw["panels"]
+        capsys.readouterr()

@@ -1,0 +1,118 @@
+"""Tests for the application task-profile catalogue."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.tasks.profiles import (
+    PROFILES,
+    TaskProfile,
+    get_profile,
+    list_profiles,
+    mixed_profile_tasks,
+)
+from repro.units import kb_to_bits, megacycles_to_cycles
+
+
+class TestCatalogue:
+    def test_expected_profiles_present(self):
+        names = list_profiles()
+        for name in ("face-recognition", "ar-overlay", "video-analytics"):
+            assert name in names
+
+    def test_list_sorted(self):
+        assert list_profiles() == sorted(list_profiles())
+
+    def test_get_profile(self):
+        profile = get_profile("ar-overlay")
+        assert profile.input_kb == 420.0  # the paper's default input size
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(ConfigurationError):
+            get_profile("quantum-mining")
+
+    def test_intensity_ordering(self):
+        # Compute-bound profiles must have higher cycles/bit than
+        # data-bound ones (the Fig. 5/6 distinction).
+        face = get_profile("face-recognition").intensity_cycles_per_bit
+        video = get_profile("video-analytics").intensity_cycles_per_bit
+        assert face > video
+
+    def test_all_profiles_valid(self):
+        for profile in PROFILES.values():
+            task = profile.nominal_task()
+            assert task.input_bits == pytest.approx(kb_to_bits(profile.input_kb))
+            assert task.cycles == pytest.approx(
+                megacycles_to_cycles(profile.megacycles)
+            )
+
+
+class TestTaskProfile:
+    def test_sample_within_spread(self):
+        profile = TaskProfile(
+            name="x", description="", input_kb=100.0, megacycles=500.0, spread=0.1
+        )
+        rng = np.random.default_rng(0)
+        for _ in range(100):
+            task = profile.sample_task(rng)
+            assert 0.9 * kb_to_bits(100.0) <= task.input_bits <= 1.1 * kb_to_bits(100.0)
+            assert 0.9 * 5e8 <= task.cycles <= 1.1 * 5e8
+
+    def test_zero_spread_deterministic(self):
+        profile = TaskProfile(
+            name="x", description="", input_kb=100.0, megacycles=500.0, spread=0.0
+        )
+        task = profile.sample_task(np.random.default_rng(1))
+        assert task.input_bits == pytest.approx(kb_to_bits(100.0))
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ConfigurationError):
+            TaskProfile(name="x", description="", input_kb=0.0, megacycles=500.0)
+
+    def test_rejects_bad_spread(self):
+        with pytest.raises(ConfigurationError):
+            TaskProfile(
+                name="x", description="", input_kb=1.0, megacycles=1.0, spread=1.0
+            )
+
+
+class TestMixedTasks:
+    def test_count(self):
+        tasks = mixed_profile_tasks(25, np.random.default_rng(0))
+        assert len(tasks) == 25
+
+    def test_zero_tasks(self):
+        assert mixed_profile_tasks(0) == []
+
+    def test_reproducible(self):
+        a = mixed_profile_tasks(10, np.random.default_rng(5))
+        b = mixed_profile_tasks(10, np.random.default_rng(5))
+        assert [t.cycles for t in a] == [t.cycles for t in b]
+
+    def test_weighted_mix_respects_zero_weight(self):
+        # Only the health-telemetry profile has weight: every task must
+        # fall inside its spread band.
+        tasks = mixed_profile_tasks(
+            50,
+            np.random.default_rng(0),
+            weights={"health-telemetry": 1.0, "video-analytics": 0.0},
+        )
+        telemetry = get_profile("health-telemetry")
+        hi = kb_to_bits(telemetry.input_kb) * (1 + telemetry.spread)
+        assert all(task.input_bits <= hi for task in tasks)
+
+    def test_rejects_negative_weights(self):
+        with pytest.raises(ConfigurationError):
+            mixed_profile_tasks(5, weights={"ar-overlay": -1.0})
+
+    def test_rejects_unknown_weight_key(self):
+        with pytest.raises(ConfigurationError):
+            mixed_profile_tasks(5, weights={"bogus": 1.0})
+
+    def test_rejects_empty_weights(self):
+        with pytest.raises(ConfigurationError):
+            mixed_profile_tasks(5, weights={})
+
+    def test_rejects_negative_count(self):
+        with pytest.raises(ConfigurationError):
+            mixed_profile_tasks(-1)

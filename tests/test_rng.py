@@ -1,0 +1,56 @@
+"""Tests for deterministic RNG helpers."""
+
+import itertools
+
+import numpy as np
+
+from repro.sim.rng import child_rng, make_rng, seed_stream
+
+
+class TestMakeRng:
+    def test_seeded_reproducible(self):
+        a = make_rng(5).random(10)
+        b = make_rng(5).random(10)
+        np.testing.assert_array_equal(a, b)
+
+    def test_unseeded_generators_differ(self):
+        # Overwhelmingly likely to differ.
+        assert make_rng().random() != make_rng().random()
+
+
+class TestChildRng:
+    def test_same_stream_reproducible(self):
+        a = child_rng(7, 3).random(5)
+        b = child_rng(7, 3).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_streams_independent(self):
+        a = child_rng(7, 0).random(5)
+        b = child_rng(7, 1).random(5)
+        assert not np.array_equal(a, b)
+
+    def test_seeds_independent(self):
+        a = child_rng(7, 0).random(5)
+        b = child_rng(8, 0).random(5)
+        assert not np.array_equal(a, b)
+
+    def test_stable_mapping(self):
+        # The (seed, stream) -> values mapping must be stable across
+        # calls; this anchors experiment reproducibility.
+        value = child_rng(2025, 100).random()
+        assert value == child_rng(2025, 100).random()
+
+
+class TestSeedStream:
+    def test_deterministic(self):
+        a = list(itertools.islice(seed_stream(1), 10))
+        b = list(itertools.islice(seed_stream(1), 10))
+        assert a == b
+
+    def test_distinct_values(self):
+        seeds = list(itertools.islice(seed_stream(1), 100))
+        assert len(set(seeds)) == 100
+
+    def test_range(self):
+        for seed in itertools.islice(seed_stream(3), 50):
+            assert 0 <= seed < 2**32

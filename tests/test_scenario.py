@@ -1,0 +1,159 @@
+"""Tests for scenario assembly and its derived arrays."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.config import SimulationConfig
+from repro.sim.scenario import Scenario
+from tests.conftest import make_scenario
+
+
+class TestBuild:
+    def test_shapes(self):
+        config = SimulationConfig(n_users=12, n_servers=4, n_subbands=3)
+        scenario = Scenario.build(config, seed=0)
+        assert scenario.n_users == 12
+        assert scenario.n_servers == 4
+        assert scenario.n_subbands == 3
+        assert scenario.gains.shape == (12, 4, 3)
+        assert scenario.user_positions.shape == (12, 2)
+
+    def test_reproducible(self):
+        config = SimulationConfig(n_users=6)
+        a = Scenario.build(config, seed=3)
+        b = Scenario.build(config, seed=3)
+        np.testing.assert_array_equal(a.gains, b.gains)
+        np.testing.assert_array_equal(a.user_positions, b.user_positions)
+
+    def test_different_seeds_differ(self):
+        config = SimulationConfig(n_users=6)
+        a = Scenario.build(config, seed=3)
+        b = Scenario.build(config, seed=4)
+        assert not np.array_equal(a.gains, b.gains)
+
+    def test_gains_positive(self):
+        scenario = Scenario.build(SimulationConfig(n_users=20), seed=1)
+        assert np.all(scenario.gains > 0.0)
+
+    def test_zero_users(self):
+        scenario = Scenario.build(SimulationConfig(n_users=0), seed=0)
+        assert scenario.n_users == 0
+        assert scenario.phi.shape == (0,)
+
+    def test_population_matches_config(self):
+        config = SimulationConfig(n_users=5, beta_time=0.7, operator_weight=0.5)
+        scenario = Scenario.build(config, seed=0)
+        np.testing.assert_allclose(scenario.beta_time, np.full(5, 0.7))
+        np.testing.assert_allclose(scenario.beta_energy, np.full(5, 0.3))
+        np.testing.assert_allclose(scenario.operator_weight, np.full(5, 0.5))
+        np.testing.assert_allclose(scenario.server_cpu_hz, np.full(9, 20e9))
+
+
+class TestDerivedArrays:
+    def test_local_time_and_energy(self, tiny_scenario):
+        # cycles=1e9, cpu=1e9 -> 1 s; kappa=5e-27 -> 5 J.
+        np.testing.assert_allclose(tiny_scenario.local_time_s, np.ones(4))
+        np.testing.assert_allclose(tiny_scenario.local_energy_j, np.full(4, 5.0))
+
+    def test_phi_formula(self, tiny_scenario):
+        # phi = lam * beta_t * d / (t_local * W); W = 20e6/2 = 1e7.
+        expected = 1.0 * 0.5 * 1e6 / (1.0 * 1e7)
+        np.testing.assert_allclose(tiny_scenario.phi, np.full(4, expected))
+
+    def test_psi_formula(self, tiny_scenario):
+        # psi = lam * beta_e * d / (E_local * W).
+        expected = 1.0 * 0.5 * 1e6 / (5.0 * 1e7)
+        np.testing.assert_allclose(tiny_scenario.psi, np.full(4, expected))
+
+    def test_eta_formula(self, tiny_scenario):
+        # eta = lam * beta_t * f_local = 0.5e9 (the paper's eta_u).
+        np.testing.assert_allclose(tiny_scenario.eta, np.full(4, 0.5e9))
+        np.testing.assert_allclose(
+            tiny_scenario.sqrt_eta, np.sqrt(np.full(4, 0.5e9))
+        )
+
+    def test_max_offloaders(self, tiny_scenario):
+        assert tiny_scenario.max_offloaders == 4  # 2 servers x 2 bands
+
+    def test_subband_width(self, tiny_scenario):
+        assert tiny_scenario.subband_width_hz == pytest.approx(1e7)
+
+
+class TestFromParts:
+    def test_rejects_gain_shape_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            make_scenario(n_users=3, gains=np.full((2, 2, 2), 1e-9))
+
+    def test_rejects_nonpositive_gains(self):
+        gains = np.full((4, 2, 2), 1e-9)
+        gains[0, 0, 0] = 0.0
+        with pytest.raises(ConfigurationError):
+            make_scenario(gains=gains)
+
+    def test_rejects_nonpositive_noise(self):
+        with pytest.raises(ConfigurationError):
+            make_scenario(noise_watts=0.0)
+
+    def test_rejects_2d_gains(self):
+        from repro.tasks.device import UserDevice
+        from repro.tasks.server import MecServer
+        from repro.tasks.task import Task
+
+        users = [
+            UserDevice(
+                task=Task(input_bits=1e6, cycles=1e9),
+                cpu_hz=1e9,
+                tx_power_watts=0.01,
+                kappa=5e-27,
+            )
+        ]
+        with pytest.raises(ConfigurationError):
+            Scenario.from_parts(
+                users=users,
+                servers=[MecServer(cpu_hz=20e9)],
+                gains=np.ones((1, 1)),
+                total_bandwidth_hz=20e6,
+                noise_watts=1e-13,
+            )
+
+    def test_heterogeneous_arrays(self):
+        from repro.tasks.device import UserDevice
+        from repro.tasks.server import MecServer
+        from repro.tasks.task import Task
+
+        users = [
+            UserDevice(
+                task=Task(input_bits=1e6, cycles=1e9),
+                cpu_hz=1e9,
+                tx_power_watts=0.01,
+                kappa=5e-27,
+                beta_time=0.2,
+                beta_energy=0.8,
+            ),
+            UserDevice(
+                task=Task(input_bits=2e6, cycles=3e9),
+                cpu_hz=2e9,
+                tx_power_watts=0.02,
+                kappa=5e-27,
+                beta_time=0.9,
+                beta_energy=0.1,
+                operator_weight=0.4,
+            ),
+        ]
+        servers = [MecServer(cpu_hz=10e9), MecServer(cpu_hz=30e9)]
+        scenario = Scenario.from_parts(
+            users=users,
+            servers=servers,
+            gains=np.full((2, 2, 1), 1e-9),
+            total_bandwidth_hz=20e6,
+            noise_watts=1e-13,
+        )
+        np.testing.assert_allclose(scenario.input_bits, [1e6, 2e6])
+        np.testing.assert_allclose(scenario.cycles, [1e9, 3e9])
+        np.testing.assert_allclose(scenario.user_cpu_hz, [1e9, 2e9])
+        np.testing.assert_allclose(scenario.beta_time, [0.2, 0.9])
+        np.testing.assert_allclose(scenario.operator_weight, [1.0, 0.4])
+        np.testing.assert_allclose(scenario.server_cpu_hz, [10e9, 30e9])
+        # eta for user 1: 0.4 * 0.9 * 2e9.
+        assert scenario.eta[1] == pytest.approx(0.4 * 0.9 * 2e9)

@@ -1,0 +1,172 @@
+"""Hand-computed SINR / rate tests for Eq. (3)-(4)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.sinr import LOCAL, compute_link_stats, compute_rates
+
+NOISE = 1e-13
+WIDTH = 1e7
+POWER = 0.01
+
+
+def stats_for(gains, server, channel, powers=None):
+    gains = np.asarray(gains, dtype=float)
+    n_users = gains.shape[0]
+    if powers is None:
+        powers = np.full(n_users, POWER)
+    return compute_link_stats(
+        gains,
+        powers,
+        NOISE,
+        WIDTH,
+        np.asarray(server, dtype=np.int64),
+        np.asarray(channel, dtype=np.int64),
+    )
+
+
+class TestSingleUser:
+    def test_interference_free_sinr(self):
+        gains = np.full((1, 2, 2), 1e-9)
+        stats = stats_for(gains, [0], [0])
+        assert stats.sinr[0] == pytest.approx(POWER * 1e-9 / NOISE)
+
+    def test_rate_follows_shannon(self):
+        gains = np.full((1, 1, 1), 1e-9)
+        stats = stats_for(gains, [0], [0])
+        expected = WIDTH * np.log2(1.0 + POWER * 1e-9 / NOISE)
+        assert stats.rate_bps[0] == pytest.approx(expected)
+
+    def test_local_user_has_zero_stats(self):
+        gains = np.full((1, 1, 1), 1e-9)
+        stats = stats_for(gains, [LOCAL], [LOCAL])
+        assert stats.sinr[0] == 0.0
+        assert stats.rate_bps[0] == 0.0
+        assert stats.spectral_efficiency[0] == 0.0
+
+
+class TestInterference:
+    def test_cross_cell_same_band_interferes(self):
+        # u0 -> server 0, u1 -> server 1, both on band 0.
+        gains = np.zeros((2, 2, 1))
+        gains[0] = [[1e-9], [2e-10]]  # u0 at s0 strong, at s1 weaker
+        gains[1] = [[3e-10], [1e-9]]  # u1 leaks 3e-10 onto s0
+        stats = stats_for(gains, [0, 1], [0, 0])
+        expected_u0 = (POWER * 1e-9) / (POWER * 3e-10 + NOISE)
+        expected_u1 = (POWER * 1e-9) / (POWER * 2e-10 + NOISE)
+        assert stats.sinr[0] == pytest.approx(expected_u0)
+        assert stats.sinr[1] == pytest.approx(expected_u1)
+
+    def test_different_bands_do_not_interfere(self):
+        gains = np.full((2, 2, 2), 1e-9)
+        stats = stats_for(gains, [0, 1], [0, 1])
+        clean = POWER * 1e-9 / NOISE
+        assert stats.sinr[0] == pytest.approx(clean)
+        assert stats.sinr[1] == pytest.approx(clean)
+
+    def test_same_cell_different_bands_orthogonal(self):
+        gains = np.full((2, 1, 2), 1e-9)
+        stats = stats_for(gains, [0, 0], [0, 1])
+        clean = POWER * 1e-9 / NOISE
+        np.testing.assert_allclose(stats.sinr, [clean, clean])
+
+    def test_three_cell_aggregate_interference(self):
+        gains = np.full((3, 3, 1), 1e-9)
+        stats = stats_for(gains, [0, 1, 2], [0, 0, 0])
+        # Each user sees the other two at gain 1e-9.
+        expected = (POWER * 1e-9) / (2 * POWER * 1e-9 + NOISE)
+        np.testing.assert_allclose(stats.sinr, np.full(3, expected))
+
+    def test_interference_lowers_rate(self):
+        gains = np.full((2, 2, 1), 1e-9)
+        alone = stats_for(gains, [0, LOCAL], [0, LOCAL]).rate_bps[0]
+        contested = stats_for(gains, [0, 1], [0, 0]).rate_bps[0]
+        assert contested < alone
+
+    def test_heterogeneous_power(self):
+        gains = np.full((2, 2, 1), 1e-9)
+        powers = np.array([0.01, 0.1])
+        stats = stats_for(gains, [0, 1], [0, 0], powers=powers)
+        expected_u0 = (0.01 * 1e-9) / (0.1 * 1e-9 + NOISE)
+        assert stats.sinr[0] == pytest.approx(expected_u0)
+
+
+class TestComputeRates:
+    def test_wrapper_matches_stats(self):
+        gains = np.full((2, 2, 2), 1e-9)
+        server = np.array([0, 1], dtype=np.int64)
+        channel = np.array([0, 1], dtype=np.int64)
+        powers = np.full(2, POWER)
+        rates = compute_rates(gains, powers, NOISE, WIDTH, server, channel)
+        stats = compute_link_stats(gains, powers, NOISE, WIDTH, server, channel)
+        np.testing.assert_array_equal(rates, stats.rate_bps)
+
+
+class TestValidation:
+    def test_rejects_2d_gains(self):
+        with pytest.raises(ConfigurationError):
+            compute_link_stats(
+                np.ones((2, 2)),
+                np.full(2, POWER),
+                NOISE,
+                WIDTH,
+                np.array([0, 0]),
+                np.array([0, 1]),
+            )
+
+    def test_rejects_power_shape_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            compute_link_stats(
+                np.ones((2, 2, 2)),
+                np.full(3, POWER),
+                NOISE,
+                WIDTH,
+                np.array([0, 1]),
+                np.array([0, 0]),
+            )
+
+    def test_rejects_assignment_shape_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            compute_link_stats(
+                np.ones((2, 2, 2)),
+                np.full(2, POWER),
+                NOISE,
+                WIDTH,
+                np.array([0]),
+                np.array([0]),
+            )
+
+    def test_rejects_server_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            stats_for(np.ones((1, 2, 2)), [2], [0])
+
+    def test_rejects_channel_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            stats_for(np.ones((1, 2, 2)), [0], [5])
+
+    def test_rejects_half_local_assignment(self):
+        with pytest.raises(ConfigurationError):
+            stats_for(np.ones((1, 2, 2)), [0], [LOCAL])
+
+    def test_rejects_nonpositive_noise(self):
+        with pytest.raises(ConfigurationError):
+            compute_link_stats(
+                np.ones((1, 1, 1)),
+                np.full(1, POWER),
+                0.0,
+                WIDTH,
+                np.array([0]),
+                np.array([0]),
+            )
+
+    def test_rejects_nonpositive_width(self):
+        with pytest.raises(ConfigurationError):
+            compute_link_stats(
+                np.ones((1, 1, 1)),
+                np.full(1, POWER),
+                NOISE,
+                0.0,
+                np.array([0]),
+                np.array([0]),
+            )

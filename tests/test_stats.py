@@ -1,0 +1,83 @@
+"""Tests for statistics helpers (95 % CI etc.)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.stats import SummaryStats, mean_confidence_interval, summarize
+
+
+class TestSummarize:
+    def test_mean_and_std(self):
+        stats = summarize([1.0, 2.0, 3.0, 4.0])
+        assert stats.mean == pytest.approx(2.5)
+        assert stats.std == pytest.approx(np.std([1, 2, 3, 4], ddof=1))
+        assert stats.n == 4
+
+    def test_single_sample_degenerates(self):
+        stats = summarize([5.0])
+        assert stats.mean == 5.0
+        assert stats.std == 0.0
+        assert stats.ci_halfwidth == 0.0
+        assert stats.interval() == (5.0, 5.0)
+
+    def test_constant_samples_zero_width(self):
+        stats = summarize([2.0] * 10)
+        assert stats.ci_halfwidth == 0.0
+
+    def test_known_t_interval(self):
+        # n=4, mean=2.5, s=1.2909..., sem=0.6455, t_97.5,3 = 3.1824.
+        stats = summarize([1.0, 2.0, 3.0, 4.0], confidence=0.95)
+        assert stats.ci_halfwidth == pytest.approx(3.1824 * 0.6455, rel=1e-3)
+
+    def test_interval_brackets_mean(self):
+        stats = summarize([1.0, 5.0, 9.0])
+        low, high = stats.interval()
+        assert low < stats.mean < high
+        assert stats.ci_low == low and stats.ci_high == high
+
+    def test_wider_confidence_wider_interval(self):
+        data = [1.0, 2.0, 3.0, 4.0, 5.0]
+        narrow = summarize(data, confidence=0.90)
+        wide = summarize(data, confidence=0.99)
+        assert wide.ci_halfwidth > narrow.ci_halfwidth
+
+    def test_coverage_simulation(self):
+        """~95 % of intervals from a known distribution cover the mean."""
+        rng = np.random.default_rng(0)
+        hits = 0
+        trials = 400
+        for _ in range(trials):
+            sample = rng.normal(10.0, 2.0, size=15)
+            stats = summarize(sample)
+            if stats.ci_low <= 10.0 <= stats.ci_high:
+                hits += 1
+        assert 0.90 <= hits / trials <= 0.99
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            summarize([])
+
+    @pytest.mark.parametrize("confidence", [0.0, 1.0, -0.5, 2.0])
+    def test_rejects_bad_confidence(self, confidence):
+        with pytest.raises(ConfigurationError):
+            summarize([1.0, 2.0], confidence=confidence)
+
+    def test_accepts_generators(self):
+        stats = summarize(float(x) for x in range(10))
+        assert stats.n == 10
+
+
+class TestMeanConfidenceInterval:
+    def test_matches_summarize(self):
+        data = [2.0, 4.0, 6.0]
+        mean, low, high = mean_confidence_interval(data)
+        stats = summarize(data)
+        assert (mean, low, high) == (stats.mean, stats.ci_low, stats.ci_high)
+
+
+class TestSummaryStats:
+    def test_frozen(self):
+        stats = SummaryStats(mean=1.0, std=0.0, ci_halfwidth=0.0, n=1, confidence=0.95)
+        with pytest.raises(AttributeError):
+            stats.mean = 2.0

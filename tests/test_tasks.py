@@ -1,0 +1,239 @@
+"""Tests for task, device, server and workload models."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.tasks.device import UserDevice
+from repro.tasks.server import MecServer
+from repro.tasks.task import Task
+from repro.tasks.workload import (
+    WorkloadSpec,
+    heterogeneous_population,
+    uniform_population,
+)
+
+
+def make_task(**overrides):
+    params = dict(input_bits=3_440_640.0, cycles=1e9)
+    params.update(overrides)
+    return Task(**params)
+
+
+def make_device(**overrides):
+    params = dict(
+        task=make_task(),
+        cpu_hz=1e9,
+        tx_power_watts=0.01,
+        kappa=5e-27,
+    )
+    params.update(overrides)
+    return UserDevice(**params)
+
+
+class TestTask:
+    def test_local_time(self):
+        # 1e9 cycles on a 1 GHz CPU takes exactly 1 second.
+        assert make_task().local_time_s(1e9) == pytest.approx(1.0)
+
+    def test_local_time_scales_with_cycles(self):
+        assert make_task(cycles=4e9).local_time_s(1e9) == pytest.approx(4.0)
+
+    def test_local_energy_paper_numbers(self):
+        # E = kappa f^2 w = 5e-27 * (1e9)^2 * 1e9 = 5 J (Eq. 1).
+        assert make_task().local_energy_j(1e9, 5e-27) == pytest.approx(5.0)
+
+    def test_local_energy_quadratic_in_frequency(self):
+        task = make_task()
+        assert task.local_energy_j(2e9, 5e-27) == pytest.approx(
+            4 * task.local_energy_j(1e9, 5e-27)
+        )
+
+    def test_rejects_nonpositive_input(self):
+        with pytest.raises(ConfigurationError):
+            Task(input_bits=0.0, cycles=1e9)
+
+    def test_rejects_nonpositive_cycles(self):
+        with pytest.raises(ConfigurationError):
+            Task(input_bits=1e6, cycles=-1.0)
+
+    def test_rejects_nonpositive_cpu(self):
+        with pytest.raises(ConfigurationError):
+            make_task().local_time_s(0.0)
+
+    def test_rejects_nonpositive_kappa(self):
+        with pytest.raises(ConfigurationError):
+            make_task().local_energy_j(1e9, 0.0)
+
+    def test_frozen(self):
+        task = make_task()
+        with pytest.raises(AttributeError):
+            task.cycles = 5.0
+
+
+class TestUserDevice:
+    def test_local_time_property(self):
+        assert make_device().local_time_s == pytest.approx(1.0)
+
+    def test_local_energy_property(self):
+        assert make_device().local_energy_j == pytest.approx(5.0)
+
+    def test_default_preferences_balanced(self):
+        device = make_device()
+        assert device.beta_time == 0.5
+        assert device.beta_energy == 0.5
+        assert device.operator_weight == 1.0
+
+    def test_beta_sum_must_be_one(self):
+        with pytest.raises(ConfigurationError):
+            make_device(beta_time=0.5, beta_energy=0.6)
+
+    def test_extreme_preferences_allowed(self):
+        device = make_device(beta_time=1.0, beta_energy=0.0)
+        assert device.beta_time == 1.0
+        device = make_device(beta_time=0.0, beta_energy=1.0)
+        assert device.beta_energy == 1.0
+
+    def test_rejects_out_of_range_beta(self):
+        with pytest.raises(ConfigurationError):
+            make_device(beta_time=1.5, beta_energy=-0.5)
+
+    def test_rejects_zero_operator_weight(self):
+        with pytest.raises(ConfigurationError):
+            make_device(operator_weight=0.0)
+
+    def test_rejects_operator_weight_above_one(self):
+        with pytest.raises(ConfigurationError):
+            make_device(operator_weight=1.5)
+
+    def test_rejects_nonpositive_cpu(self):
+        with pytest.raises(ConfigurationError):
+            make_device(cpu_hz=0.0)
+
+    def test_rejects_nonpositive_power(self):
+        with pytest.raises(ConfigurationError):
+            make_device(tx_power_watts=0.0)
+
+    def test_rejects_nonpositive_kappa(self):
+        with pytest.raises(ConfigurationError):
+            make_device(kappa=-5e-27)
+
+
+class TestMecServer:
+    def test_execution_time(self):
+        server = MecServer(cpu_hz=20e9)
+        # 1e9 cycles at a 10 GHz share -> 0.1 s (Eq. 7).
+        assert server.execution_time_s(1e9, 10e9) == pytest.approx(0.1)
+
+    def test_full_capacity_allowed(self):
+        server = MecServer(cpu_hz=20e9)
+        assert server.execution_time_s(2e10, 20e9) == pytest.approx(1.0)
+
+    def test_rejects_over_capacity_share(self):
+        server = MecServer(cpu_hz=20e9)
+        with pytest.raises(ConfigurationError):
+            server.execution_time_s(1e9, 21e9)
+
+    def test_rejects_zero_share(self):
+        server = MecServer(cpu_hz=20e9)
+        with pytest.raises(ConfigurationError):
+            server.execution_time_s(1e9, 0.0)
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ConfigurationError):
+            MecServer(cpu_hz=0.0)
+
+
+class TestUniformPopulation:
+    def test_count(self):
+        users = uniform_population(
+            5, input_bits=1e6, cycles=1e9, cpu_hz=1e9, tx_power_watts=0.01, kappa=5e-27
+        )
+        assert len(users) == 5
+
+    def test_empty_population(self):
+        assert uniform_population(
+            0, input_bits=1e6, cycles=1e9, cpu_hz=1e9, tx_power_watts=0.01, kappa=5e-27
+        ) == []
+
+    def test_homogeneous(self):
+        users = uniform_population(
+            3, input_bits=1e6, cycles=1e9, cpu_hz=1e9, tx_power_watts=0.01, kappa=5e-27
+        )
+        assert len({u.task.input_bits for u in users}) == 1
+        assert len({u.cpu_hz for u in users}) == 1
+
+    def test_beta_energy_derived(self):
+        users = uniform_population(
+            2,
+            input_bits=1e6,
+            cycles=1e9,
+            cpu_hz=1e9,
+            tx_power_watts=0.01,
+            kappa=5e-27,
+            beta_time=0.3,
+        )
+        assert users[0].beta_energy == pytest.approx(0.7)
+
+    def test_rejects_negative_count(self):
+        with pytest.raises(ConfigurationError):
+            uniform_population(
+                -1,
+                input_bits=1e6,
+                cycles=1e9,
+                cpu_hz=1e9,
+                tx_power_watts=0.01,
+                kappa=5e-27,
+            )
+
+
+class TestHeterogeneousPopulation:
+    def spec(self):
+        return WorkloadSpec(
+            input_bits=(1e5, 1e7),
+            cycles=(1e8, 5e9),
+            cpu_hz=(0.5e9, 2e9),
+            tx_power_watts=(0.005, 0.02),
+            kappa=5e-27,
+            beta_time=(0.1, 0.9),
+        )
+
+    def test_count_and_ranges(self):
+        users = heterogeneous_population(50, self.spec(), np.random.default_rng(0))
+        assert len(users) == 50
+        for user in users:
+            assert 1e5 <= user.task.input_bits <= 1e7
+            assert 1e8 <= user.task.cycles <= 5e9
+            assert 0.5e9 <= user.cpu_hz <= 2e9
+            assert 0.1 <= user.beta_time <= 0.9
+            assert user.beta_time + user.beta_energy == pytest.approx(1.0)
+
+    def test_degenerate_ranges_are_constant(self):
+        spec = WorkloadSpec(
+            input_bits=(1e6, 1e6),
+            cycles=(1e9, 1e9),
+            cpu_hz=(1e9, 1e9),
+            tx_power_watts=(0.01, 0.01),
+            kappa=5e-27,
+        )
+        users = heterogeneous_population(5, spec, np.random.default_rng(0))
+        assert all(u.task.input_bits == 1e6 for u in users)
+
+    def test_reproducible(self):
+        a = heterogeneous_population(10, self.spec(), np.random.default_rng(42))
+        b = heterogeneous_population(10, self.spec(), np.random.default_rng(42))
+        assert [u.task.cycles for u in a] == [u.task.cycles for u in b]
+
+    def test_rejects_inverted_range(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec(
+                input_bits=(1e7, 1e5),
+                cycles=(1e9, 1e9),
+                cpu_hz=(1e9, 1e9),
+                tx_power_watts=(0.01, 0.01),
+                kappa=5e-27,
+            )
+
+    def test_rejects_negative_count(self):
+        with pytest.raises(ConfigurationError):
+            heterogeneous_population(-2, self.spec())

@@ -1,0 +1,187 @@
+"""Tests for the hexagonal topology substrate."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.topology import (
+    DEFAULT_MIN_BS_DISTANCE_KM,
+    HexCell,
+    Topology,
+    hex_grid_positions,
+)
+
+
+class TestHexGridPositions:
+    def test_single_cell_at_origin(self):
+        positions = hex_grid_positions(1, 1.0)
+        assert positions.shape == (1, 2)
+        np.testing.assert_allclose(positions[0], [0.0, 0.0])
+
+    def test_seven_cells_form_center_plus_ring(self):
+        positions = hex_grid_positions(7, 1.0)
+        assert positions.shape == (7, 2)
+        distances = np.linalg.norm(positions[1:], axis=1)
+        np.testing.assert_allclose(distances, np.ones(6), atol=1e-12)
+
+    def test_nine_cells_paper_default(self):
+        positions = hex_grid_positions(9, 1.0)
+        assert positions.shape == (9, 2)
+        # All positions distinct.
+        assert len({tuple(np.round(p, 9)) for p in positions}) == 9
+
+    def test_adjacent_stations_at_inter_site_distance(self):
+        positions = hex_grid_positions(19, 1.0)
+        # Minimum pairwise distance must equal the inter-site distance.
+        deltas = positions[:, None, :] - positions[None, :, :]
+        dists = np.linalg.norm(deltas, axis=2)
+        dists[np.arange(19), np.arange(19)] = np.inf
+        assert dists.min() == pytest.approx(1.0)
+
+    def test_custom_spacing_scales_layout(self):
+        base = hex_grid_positions(7, 1.0)
+        scaled = hex_grid_positions(7, 2.5)
+        np.testing.assert_allclose(scaled, base * 2.5)
+
+    def test_rejects_zero_cells(self):
+        with pytest.raises(ConfigurationError):
+            hex_grid_positions(0, 1.0)
+
+    def test_rejects_nonpositive_spacing(self):
+        with pytest.raises(ConfigurationError):
+            hex_grid_positions(3, 0.0)
+
+    def test_large_ring_counts(self):
+        # 1 + 6 + 12 + 18 = 37 cells over three rings.
+        positions = hex_grid_positions(37, 1.0)
+        ring_radii = np.linalg.norm(positions, axis=1)
+        assert ring_radii.max() == pytest.approx(3.0, rel=1e-9)
+
+
+class TestHexCell:
+    def test_center_is_inside(self):
+        cell = HexCell(center=np.zeros(2), circumradius=1.0)
+        assert cell.contains([0.0, 0.0])
+
+    def test_vertex_is_inside(self):
+        cell = HexCell(center=np.zeros(2), circumradius=1.0)
+        # Pointy-top: vertices at angles 30 + 60k degrees... the top vertex
+        # is along +y at the circumradius.
+        assert cell.contains([0.0, 1.0 - 1e-9])
+
+    def test_point_beyond_inradius_on_x_axis_is_outside(self):
+        cell = HexCell(center=np.zeros(2), circumradius=1.0)
+        inradius = math.sqrt(3.0) / 2.0
+        assert not cell.contains([inradius + 1e-6, 0.0])
+        assert cell.contains([inradius - 1e-6, 0.0])
+
+    def test_far_point_is_outside(self):
+        cell = HexCell(center=np.zeros(2), circumradius=1.0)
+        assert not cell.contains([2.0, 2.0])
+
+    def test_offset_center(self):
+        cell = HexCell(center=np.array([5.0, -3.0]), circumradius=1.0)
+        assert cell.contains([5.0, -3.0])
+        assert not cell.contains([0.0, 0.0])
+
+    def test_area_formula(self):
+        cell = HexCell(center=np.zeros(2), circumradius=2.0)
+        assert cell.area == pytest.approx(3.0 * math.sqrt(3.0) / 2.0 * 4.0)
+
+    def test_inradius_relation(self):
+        cell = HexCell(center=np.zeros(2), circumradius=1.0)
+        assert cell.inradius == pytest.approx(math.sqrt(3.0) / 2.0)
+
+    def test_sample_points_are_inside(self):
+        cell = HexCell(center=np.array([1.0, 1.0]), circumradius=0.7)
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            assert cell.contains(cell.sample(rng))
+
+    def test_sample_covers_cell(self):
+        # Samples should spread over the hexagon, not cluster at the centre.
+        cell = HexCell(center=np.zeros(2), circumradius=1.0)
+        rng = np.random.default_rng(1)
+        points = np.array([cell.sample(rng) for _ in range(500)])
+        assert np.linalg.norm(points, axis=1).max() > 0.8
+        assert abs(points.mean(axis=0)).max() < 0.1
+
+    def test_rejects_nonpositive_radius(self):
+        with pytest.raises(ConfigurationError):
+            HexCell(center=np.zeros(2), circumradius=0.0)
+
+
+class TestTopology:
+    def test_hexagonal_factory(self):
+        topo = Topology.hexagonal(9, 1.0)
+        assert topo.n_cells == 9
+        assert len(topo.cells) == 9
+
+    def test_cells_tile_without_overlap_at_circumradius(self):
+        topo = Topology.hexagonal(7, 1.0)
+        expected = 1.0 / math.sqrt(3.0)
+        for cell in topo.cells:
+            assert cell.circumradius == pytest.approx(expected)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ConfigurationError):
+            Topology(bs_positions=np.zeros((3, 3)), inter_site_distance_km=1.0)
+
+    def test_rejects_bad_distance(self):
+        with pytest.raises(ConfigurationError):
+            Topology(bs_positions=np.zeros((3, 2)), inter_site_distance_km=-1.0)
+
+    def test_place_users_count_and_shape(self, rng):
+        topo = Topology.hexagonal(4, 1.0)
+        users = topo.place_users(25, rng)
+        assert users.shape == (25, 2)
+
+    def test_place_users_zero(self, rng):
+        topo = Topology.hexagonal(4, 1.0)
+        assert topo.place_users(0, rng).shape == (0, 2)
+
+    def test_place_users_respects_min_bs_distance(self, rng):
+        topo = Topology.hexagonal(9, 1.0)
+        users = topo.place_users(300, rng, min_bs_distance_km=0.05)
+        dists = topo.distances_km(users)
+        assert dists.min() >= 0.05
+
+    def test_default_min_distance_guard(self, rng):
+        topo = Topology.hexagonal(9, 1.0)
+        users = topo.place_users(300, rng)
+        assert topo.distances_km(users).min() >= DEFAULT_MIN_BS_DISTANCE_KM
+
+    def test_place_users_inside_coverage(self, rng):
+        topo = Topology.hexagonal(4, 1.0)
+        users = topo.place_users(100, rng)
+        for point in users:
+            assert any(cell.contains(point) for cell in topo.cells)
+
+    def test_place_users_rejects_negative(self, rng):
+        topo = Topology.hexagonal(4, 1.0)
+        with pytest.raises(ConfigurationError):
+            topo.place_users(-1, rng)
+        with pytest.raises(ConfigurationError):
+            topo.place_users(5, rng, min_bs_distance_km=-0.1)
+
+    def test_distances_km_values(self):
+        topo = Topology(
+            bs_positions=np.array([[0.0, 0.0], [3.0, 4.0]]),
+            inter_site_distance_km=5.0,
+        )
+        users = np.array([[0.0, 0.0], [3.0, 0.0]])
+        dists = topo.distances_km(users)
+        np.testing.assert_allclose(dists, [[0.0, 5.0], [3.0, 4.0]])
+
+    def test_distances_rejects_bad_shape(self):
+        topo = Topology.hexagonal(3, 1.0)
+        with pytest.raises(ConfigurationError):
+            topo.distances_km(np.zeros((4, 3)))
+
+    def test_placement_is_reproducible(self):
+        topo = Topology.hexagonal(5, 1.0)
+        a = topo.place_users(20, np.random.default_rng(7))
+        b = topo.place_users(20, np.random.default_rng(7))
+        np.testing.assert_array_equal(a, b)

@@ -1,0 +1,76 @@
+"""Unit-conversion tests for :mod:`repro.units`."""
+
+import math
+
+import pytest
+
+from repro import units
+
+
+class TestDbmWatts:
+    def test_zero_dbm_is_one_milliwatt(self):
+        assert units.dbm_to_watts(0.0) == pytest.approx(1e-3)
+
+    def test_ten_dbm_is_ten_milliwatts(self):
+        assert units.dbm_to_watts(10.0) == pytest.approx(0.01)
+
+    def test_thirty_dbm_is_one_watt(self):
+        assert units.dbm_to_watts(30.0) == pytest.approx(1.0)
+
+    def test_minus_100_dbm_is_paper_noise_floor(self):
+        assert units.dbm_to_watts(-100.0) == pytest.approx(1e-13)
+
+    def test_watts_to_dbm_roundtrip(self):
+        for dbm in (-120.0, -30.0, 0.0, 10.0, 46.0):
+            assert units.watts_to_dbm(units.dbm_to_watts(dbm)) == pytest.approx(dbm)
+
+    def test_watts_to_dbm_rejects_zero(self):
+        with pytest.raises(ValueError):
+            units.watts_to_dbm(0.0)
+
+    def test_watts_to_dbm_rejects_negative(self):
+        with pytest.raises(ValueError):
+            units.watts_to_dbm(-1.0)
+
+
+class TestDbLinear:
+    def test_zero_db_is_unity(self):
+        assert units.db_to_linear(0.0) == pytest.approx(1.0)
+
+    def test_three_db_is_about_double(self):
+        assert units.db_to_linear(3.0) == pytest.approx(2.0, rel=1e-2)
+
+    def test_negative_db_attenuates(self):
+        assert units.db_to_linear(-10.0) == pytest.approx(0.1)
+
+    def test_linear_to_db_roundtrip(self):
+        for db in (-80.0, -3.0, 0.0, 20.0):
+            assert units.linear_to_db(units.db_to_linear(db)) == pytest.approx(db)
+
+    def test_linear_to_db_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            units.linear_to_db(0.0)
+        with pytest.raises(ValueError):
+            units.linear_to_db(-5.0)
+
+
+class TestDataAndCompute:
+    def test_kb_to_bits_uses_1024(self):
+        assert units.kb_to_bits(1.0) == 8192
+
+    def test_paper_task_size(self):
+        # The paper's d_u = 420 KB.
+        assert units.kb_to_bits(420.0) == pytest.approx(3_440_640)
+
+    def test_megacycles(self):
+        assert units.megacycles_to_cycles(1000.0) == pytest.approx(1e9)
+
+    def test_ghz(self):
+        assert units.ghz_to_hz(20.0) == pytest.approx(2e10)
+
+    def test_mhz(self):
+        assert units.mhz_to_hz(20.0) == pytest.approx(2e7)
+
+    def test_constants_consistency(self):
+        assert units.BITS_PER_MB == 1024 * units.BITS_PER_KB
+        assert math.isclose(units.HZ_PER_GHZ / units.HZ_PER_MHZ, 1000.0)

@@ -1,0 +1,107 @@
+"""Tests for end-to-end feasibility validation."""
+
+import numpy as np
+import pytest
+
+from repro.core.allocation import kkt_allocation
+from repro.core.decision import OffloadingDecision
+from repro.core.scheduler import ScheduleResult
+from repro.errors import InfeasibleAllocationError, InfeasibleDecisionError
+from repro.sim.validation import (
+    is_feasible_result,
+    validate_allocation,
+    validate_decision,
+    validate_result,
+)
+
+
+def make_result(scenario, decision, allocation=None):
+    if allocation is None:
+        allocation = kkt_allocation(scenario, decision)
+    return ScheduleResult(
+        decision=decision,
+        allocation=allocation,
+        utility=0.0,
+        evaluations=0,
+        wall_time_s=0.0,
+    )
+
+
+class TestValidateDecision:
+    def test_accepts_feasible(self, tiny_scenario):
+        decision = OffloadingDecision.all_local(4, 2, 2)
+        decision.assign(0, 0, 0)
+        validate_decision(tiny_scenario, decision)
+
+    def test_rejects_dimension_mismatch(self, tiny_scenario):
+        decision = OffloadingDecision.all_local(4, 3, 2)
+        with pytest.raises(InfeasibleDecisionError):
+            validate_decision(tiny_scenario, decision)
+
+    def test_rejects_wrong_user_count(self, tiny_scenario):
+        decision = OffloadingDecision.all_local(5, 2, 2)
+        with pytest.raises(InfeasibleDecisionError):
+            validate_decision(tiny_scenario, decision)
+
+
+class TestValidateAllocation:
+    def test_accepts_kkt(self, tiny_scenario):
+        decision = OffloadingDecision.all_local(4, 2, 2)
+        decision.assign(0, 0, 0)
+        decision.assign(1, 0, 1)
+        validate_allocation(
+            tiny_scenario, decision, kkt_allocation(tiny_scenario, decision)
+        )
+
+    def test_rejects_wrong_shape(self, tiny_scenario):
+        decision = OffloadingDecision.all_local(4, 2, 2)
+        with pytest.raises(InfeasibleAllocationError):
+            validate_allocation(tiny_scenario, decision, np.zeros((3, 2)))
+
+    def test_rejects_negative_share(self, tiny_scenario):
+        decision = OffloadingDecision.all_local(4, 2, 2)
+        decision.assign(0, 0, 0)
+        allocation = kkt_allocation(tiny_scenario, decision)
+        allocation[1, 1] = -1.0
+        with pytest.raises(InfeasibleAllocationError):
+            validate_allocation(tiny_scenario, decision, allocation)
+
+    def test_rejects_over_capacity(self, tiny_scenario):
+        decision = OffloadingDecision.all_local(4, 2, 2)
+        decision.assign(0, 0, 0)
+        allocation = np.zeros((4, 2))
+        allocation[0, 0] = 21e9
+        with pytest.raises(InfeasibleAllocationError):
+            validate_allocation(tiny_scenario, decision, allocation)
+
+    def test_rejects_unserved_attached_user(self, tiny_scenario):
+        decision = OffloadingDecision.all_local(4, 2, 2)
+        decision.assign(0, 0, 0)
+        with pytest.raises(InfeasibleAllocationError):
+            validate_allocation(tiny_scenario, decision, np.zeros((4, 2)))
+
+    def test_rejects_share_for_detached_user(self, tiny_scenario):
+        decision = OffloadingDecision.all_local(4, 2, 2)
+        allocation = np.zeros((4, 2))
+        allocation[2, 1] = 1e9
+        with pytest.raises(InfeasibleAllocationError):
+            validate_allocation(tiny_scenario, decision, allocation)
+
+
+class TestValidateResult:
+    def test_accepts_consistent_result(self, tiny_scenario):
+        decision = OffloadingDecision.all_local(4, 2, 2)
+        decision.assign(2, 1, 0)
+        validate_result(tiny_scenario, make_result(tiny_scenario, decision))
+
+    def test_is_feasible_result_true(self, tiny_scenario):
+        decision = OffloadingDecision.all_local(4, 2, 2)
+        assert is_feasible_result(tiny_scenario, make_result(tiny_scenario, decision))
+
+    def test_is_feasible_result_false(self, tiny_scenario):
+        decision = OffloadingDecision.all_local(4, 2, 2)
+        decision.assign(0, 0, 0)
+        bad = np.zeros((4, 2))
+        assert not is_feasible_result(
+            tiny_scenario, make_result(tiny_scenario, decision, allocation=bad)
+        )
