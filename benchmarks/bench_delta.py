@@ -1,0 +1,125 @@
+"""Micro-benchmark: incremental (delta) vs full objective evaluation.
+
+Replays one long Algorithm-2 move chain (every proposal accepted, so the
+cache never idles) through both evaluation paths at the ISSUE's reference
+scale U=40, S=5, N=20, verifies the two value sequences are *identical*
+(the delta path's bitwise contract), and records the per-evaluation times
+and speedup.
+
+Run standalone to (re)generate ``BENCH_delta.json`` at the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_delta.py
+
+or via pytest (asserts a conservative speedup floor so noisy CI machines
+do not flake)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_delta.py -m bench
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.decision import OffloadingDecision
+from repro.core.delta import DeltaEvaluator
+from repro.core.neighborhood import NeighborhoodSampler
+from repro.core.objective import ObjectiveEvaluator
+from repro.sim.config import SimulationConfig
+from repro.sim.rng import child_rng
+from repro.sim.scenario import Scenario
+
+N_USERS, N_SERVERS, N_SUBBANDS = 40, 5, 20
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_delta.json"
+
+
+def build_chain(n_moves: int, seed: int = 3):
+    """A deterministic accept-all move chain and its starting decision."""
+    config = SimulationConfig(
+        n_users=N_USERS, n_servers=N_SERVERS, n_subbands=N_SUBBANDS
+    )
+    scenario = Scenario.build(config, seed=seed)
+    rng = child_rng(seed, 100)
+    start = OffloadingDecision.random_feasible(
+        N_USERS, N_SERVERS, N_SUBBANDS, rng
+    )
+    moves = []
+    current = start.copy()
+    sampler = NeighborhoodSampler()
+    for _ in range(n_moves):
+        candidate, touched = sampler.propose_move(current, rng)
+        moves.append((candidate, touched))
+        current = candidate
+    return scenario, start, moves
+
+
+def measure(n_moves: int = 4000, repeats: int = 3) -> dict:
+    """Time both paths over the same chain; best-of-``repeats`` each."""
+    scenario, start, moves = build_chain(n_moves)
+
+    full = ObjectiveEvaluator(scenario)
+    best_full = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        vals_full = [
+            full.evaluate_assignment(c.server, c.channel) for c, _ in moves
+        ]
+        best_full = min(best_full, time.perf_counter() - t0)
+
+    delta = DeltaEvaluator(scenario)
+    best_delta = float("inf")
+    for _ in range(repeats):
+        delta.rebuild()
+        # Sync the cache onto the chain's starting decision (the annealer
+        # does the same with its initial full evaluation).
+        delta.evaluate_assignment(start.server, start.channel)
+        t0 = time.perf_counter()
+        vals_delta = [delta.evaluate_move(c, t) for c, t in moves]
+        best_delta = min(best_delta, time.perf_counter() - t0)
+
+    if vals_full != vals_delta:
+        raise AssertionError("delta path diverged from the full path")
+
+    return {
+        "description": (
+            "Inner-loop objective evaluation over one accept-all "
+            "Algorithm-2 move chain; identical value sequences verified."
+        ),
+        "n_users": N_USERS,
+        "n_servers": N_SERVERS,
+        "n_subbands": N_SUBBANDS,
+        "n_moves": n_moves,
+        "repeats": repeats,
+        "full_us_per_eval": round(best_full / n_moves * 1e6, 3),
+        "delta_us_per_eval": round(best_delta / n_moves * 1e6, 3),
+        "speedup": round(best_full / best_delta, 2),
+        "values_identical": True,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+    }
+
+
+@pytest.mark.bench
+def test_delta_speedup_floor():
+    """The delta path must clearly beat the full path (CI-safe floor)."""
+    result = measure(n_moves=1500, repeats=3)
+    assert result["values_identical"]
+    assert result["speedup"] >= 1.5
+
+
+def main() -> int:
+    result = measure()
+    RESULT_PATH.write_text(json.dumps(result, indent=2) + "\n")
+    print(json.dumps(result, indent=2))
+    print(f"\n[written to {RESULT_PATH}]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

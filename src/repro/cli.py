@@ -5,11 +5,13 @@ Sub-commands
 
 ``tsajs list``
     List all registered experiments (paper figures + ablations).
-``tsajs run <experiment-id> [--quick] [--out FILE]``
+``tsajs run <experiment-id> [--quick] [--workers N] [--out FILE]``
     Run one experiment and print (and optionally save) its table.
-``tsajs solve [--users U --servers S --subbands N ...]``
+    ``--workers`` fans the seeds over worker processes (same results).
+``tsajs solve [--users U --servers S --subbands N --delta ...]``
     Solve a single random instance with the selected schemes and print
     the utilities side by side — a one-command demo of the library.
+    ``--delta`` switches TSAJS to the incremental evaluation path.
 ``tsajs schemes``
     List the scheme names accepted by ``solve --schemes``.
 ``tsajs episode [--pool P --slots T --outage q ...]``
@@ -58,6 +60,16 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="also write the structured result (incl. raw stats) as JSON",
     )
+    run_parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "fan multi-seed runs out over N worker processes "
+            "(results are identical to --workers 1, just faster)"
+        ),
+    )
 
     solve_parser = sub.add_parser("solve", help="solve one random instance")
     solve_parser.add_argument("--users", type=int, default=20)
@@ -77,6 +89,14 @@ def _build_parser() -> argparse.ArgumentParser:
         help=(
             "comma-separated scheme names to run "
             "(see `tsajs schemes` for the full list)"
+        ),
+    )
+    solve_parser.add_argument(
+        "--delta",
+        action="store_true",
+        help=(
+            "score annealer moves with the incremental (delta) evaluator; "
+            "bit-identical results, lower wall-clock time"
         ),
     )
 
@@ -110,8 +130,16 @@ def _cmd_list() -> int:
 
 
 def _cmd_run(
-    experiment_id: str, quick: bool, out: Optional[str], json_out: Optional[str]
+    experiment_id: str,
+    quick: bool,
+    out: Optional[str],
+    json_out: Optional[str],
+    workers: int = 1,
 ) -> int:
+    if workers != 1:
+        from repro.sim.runner import set_default_n_workers
+
+        set_default_n_workers(workers)
     spec = get_experiment(experiment_id)
     output = spec.run_quick() if quick else spec.run_full()
     text = render_text(output)
@@ -152,7 +180,8 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         f"w={args.workload_mc:.0f} Mc d={args.input_kb:.0f} KB seed={args.seed}"
     )
     names = [name.strip() for name in args.schemes.split(",") if name.strip()]
-    for index, scheduler in enumerate(build_schemes(names, quick=args.quick)):
+    schedulers = build_schemes(names, quick=args.quick, use_delta=args.delta)
+    for index, scheduler in enumerate(schedulers):
         rng = child_rng(args.seed, 100 + index)
         result = scheduler.schedule(scenario, rng)
         print(
@@ -208,7 +237,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "list":
         return _cmd_list()
     if args.command == "run":
-        return _cmd_run(args.experiment, args.quick, args.out, args.json)
+        return _cmd_run(
+            args.experiment, args.quick, args.out, args.json, args.workers
+        )
     if args.command == "solve":
         return _cmd_solve(args)
     if args.command == "schemes":

@@ -5,6 +5,8 @@
 * :mod:`repro.core.allocation` — the KKT closed-form computing-resource
   allocation (Eq. 20-23).
 * :mod:`repro.core.objective` — utility/cost evaluation (Eq. 8-11, 16-19, 24).
+* :mod:`repro.core.delta` — incremental (delta) evaluation of the same
+  objective for the annealer's single-user moves.
 * :mod:`repro.core.annealing` — the threshold-triggered simulated-annealing
   engine (Algorithm 1's control loop).
 * :mod:`repro.core.neighborhood` — the move generator (Algorithm 2).
@@ -15,6 +17,7 @@
 from repro.core.allocation import kkt_allocation, optimal_allocation_cost
 from repro.core.annealing import AnnealingSchedule, ThresholdTriggeredAnnealer
 from repro.core.decision import LOCAL, OffloadingDecision
+from repro.core.delta import DeltaEvaluator
 from repro.core.neighborhood import NeighborhoodSampler
 from repro.core.objective import ObjectiveEvaluator, UtilityBreakdown
 from repro.core.scheduler import ScheduleResult, TsajsScheduler
@@ -22,6 +25,7 @@ from repro.core.scheduler import ScheduleResult, TsajsScheduler
 __all__ = [
     "LOCAL",
     "AnnealingSchedule",
+    "DeltaEvaluator",
     "NeighborhoodSampler",
     "ObjectiveEvaluator",
     "OffloadingDecision",

@@ -1,14 +1,18 @@
 """Threshold-triggered simulated annealing — Algorithm 1's control loop.
 
 Classic simulated annealing cools geometrically (``T <- alpha * T``).  The
-paper's twist is a *threshold trigger*: the run counts how many worsened
-solutions have been accepted; once that count crosses ``maxCount =
-threshold_factor * chain_length`` the cooling rate switches from the slow
-``alpha_slow = 0.97`` to the fast ``alpha_fast = 0.90`` for one step and
-the counter resets.  Sustained acceptance of bad moves means the chain is
-wandering, so the schedule spends less time at unproductive temperatures —
-this is what lets TSAJS "effectively avoid local optima and converge toward
-the global optimum" within a polynomial budget.
+paper's twist is a *threshold trigger*: the run counts accepted worsened
+solutions across chains, and the count is compared against ``maxCount =
+threshold_factor * chain_length`` once at the end of each chain.  While
+``count < maxCount`` the slow rate ``alpha_slow = 0.97`` applies; the
+first end-of-chain check at which the count has reached ``maxCount``
+(``count >= maxCount``) applies the fast rate ``alpha_fast = 0.90`` for
+exactly that one cooling step and resets the counter to zero, so a fresh
+accumulation starts at the next temperature.  Sustained acceptance of bad
+moves means the chain is wandering, so the schedule spends less time at
+unproductive temperatures — this is what lets TSAJS "effectively avoid
+local optima and converge toward the global optimum" within a polynomial
+budget.
 
 The engine is generic over the state type: it only needs an objective
 function, a proposal function and an initial state, so the ablation
@@ -20,7 +24,7 @@ bookkeeping.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Generic, List, Optional, TypeVar
+from typing import Callable, Generic, List, Optional, Tuple, TypeVar
 
 import numpy as np
 
@@ -73,7 +77,18 @@ class AnnealingSchedule:
 
     @property
     def max_count(self) -> float:
-        """The trigger threshold ``maxCount = threshold_factor * L``."""
+        """The trigger threshold ``maxCount = threshold_factor * L``.
+
+        The accepted-worse count is compared against this once per chain,
+        *after* the chain's ``L`` proposals: a count that has reached
+        ``maxCount`` (``count >= maxCount``) triggers exactly one
+        fast-cooling step (``alpha_fast``) and resets the counter; any
+        smaller count cools slowly (``alpha_slow``) and keeps
+        accumulating.  With the paper's defaults (``threshold_factor =
+        1.75``, ``L = 30``) the trigger therefore fires at the end of
+        the first chain where the running count reaches 52.5, i.e. 53
+        accepted worsened moves.
+        """
         return self.threshold_factor * self.chain_length
 
 
@@ -92,6 +107,9 @@ class AnnealingResult(Generic[State]):
     fast_coolings: int
     temperature_trace: List[float] = field(default_factory=list)
     best_trace: List[float] = field(default_factory=list)
+    #: Total accepted moves (improving + accepted-worse), for the golden
+    #: trajectory regressions and acceptance-ratio diagnostics.
+    accepted_moves: int = 0
 
 
 class ThresholdTriggeredAnnealer:
@@ -108,6 +126,12 @@ class ThresholdTriggeredAnnealer:
         rng: np.random.Generator,
         default_initial_temperature: float = 1.0,
         record_trace: bool = False,
+        propose_move: Optional[
+            Callable[[State, np.random.Generator], Tuple[State, Tuple[int, ...]]]
+        ] = None,
+        move_objective: Optional[
+            Callable[[State, Tuple[int, ...]], float]
+        ] = None,
     ) -> AnnealingResult[State]:
         """Maximise ``objective`` from ``initial_state``.
 
@@ -116,8 +140,24 @@ class ThresholdTriggeredAnnealer:
         default_initial_temperature:
             Used when the schedule leaves ``initial_temperature`` unset;
             TSAJS passes the sub-channel count ``N`` here (Alg. 1 line 3).
+        propose_move, move_objective:
+            Optional *delta-evaluation* pair (pass both or neither).
+            ``propose_move`` returns ``(candidate, touched)`` and
+            ``move_objective(candidate, touched)`` scores it from an
+            incremental cache.  The cache mirrors the last *evaluated*
+            candidate — accepted or not — so after a rejection the next
+            call passes the union of the new and the rejected touched
+            sets; ``propose`` is then unused (it must draw from the same
+            RNG stream as ``propose_move`` for the two modes to walk
+            identical chains, as :class:`NeighborhoodSampler` does).
+            ``objective`` still scores the initial state.
         """
         sched = self.schedule
+        if (propose_move is None) != (move_objective is None):
+            raise ConfigurationError(
+                "propose_move and move_objective must be provided together"
+            )
+        delta_mode = propose_move is not None
         temperature = (
             sched.initial_temperature
             if sched.initial_temperature is not None
@@ -134,8 +174,13 @@ class ThresholdTriggeredAnnealer:
         best = current
         best_value = current_value
         accepted_worse = 0
+        accepted_moves = 0
         iterations = 0
         fast_coolings = 0
+        # Touched set of the last *rejected* candidate: the delta cache
+        # still reflects that candidate, so the next evaluation must
+        # also cover its users to diff back correctly.
+        carry: Tuple[int, ...] = ()
         result = AnnealingResult(
             best_state=best,
             best_value=best_value,
@@ -146,11 +191,18 @@ class ThresholdTriggeredAnnealer:
         while temperature > sched.min_temperature:
             for _ in range(sched.chain_length):
                 iterations += 1
-                candidate = propose(current, rng)
-                candidate_value = objective(candidate)
+                if delta_mode:
+                    candidate, touched = propose_move(current, rng)
+                    candidate_value = move_objective(candidate, touched + carry)
+                else:
+                    touched = ()
+                    candidate = propose(current, rng)
+                    candidate_value = objective(candidate)
                 delta = candidate_value - current_value
                 if delta > 0:
                     current, current_value = candidate, candidate_value
+                    accepted_moves += 1
+                    carry = ()
                     if current_value > best_value:
                         best, best_value = current, current_value
                 else:
@@ -159,6 +211,10 @@ class ThresholdTriggeredAnnealer:
                     if delta > -np.inf and np.exp(delta / temperature) > rng.random():
                         current, current_value = candidate, candidate_value
                         accepted_worse += 1
+                        accepted_moves += 1
+                        carry = ()
+                    else:
+                        carry = touched
             if record_trace:
                 result.temperature_trace.append(temperature)
                 result.best_trace.append(best_value)
@@ -173,4 +229,5 @@ class ThresholdTriggeredAnnealer:
         result.best_value = best_value
         result.iterations = iterations
         result.fast_coolings = fast_coolings
+        result.accepted_moves = accepted_moves
         return result

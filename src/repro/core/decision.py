@@ -166,6 +166,22 @@ class OffloadingDecision:
         for u in self.offloaded_users():
             yield int(u), int(self.server[u]), int(self.channel[u])
 
+    def changed_users(self, other: "OffloadingDecision") -> np.ndarray:
+        """Indices of users assigned differently in ``other``.
+
+        The exact set the delta evaluator must refresh when moving between
+        two decisions; used by the equivalence tests to validate the
+        touched sets :class:`~repro.core.neighborhood.NeighborhoodSampler`
+        reports for its moves.
+        """
+        if self.n_users != other.n_users:
+            raise ConfigurationError(
+                f"user-count mismatch: {self.n_users} vs {other.n_users}"
+            )
+        return np.flatnonzero(
+            (self.server != other.server) | (self.channel != other.channel)
+        )
+
     def is_feasible(self) -> bool:
         """Check constraints (12b)-(12d) from scratch."""
         try:

@@ -24,6 +24,7 @@ this extension keeps the chain irreducible over the whole feasible set.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Tuple
 
 import numpy as np
 
@@ -59,20 +60,36 @@ class NeighborhoodSampler:
         self, decision: OffloadingDecision, rng: np.random.Generator
     ) -> OffloadingDecision:
         """One neighbour ``X_new`` of ``X_old`` (the input is not mutated)."""
+        return self.propose_move(decision, rng)[0]
+
+    def propose_move(
+        self, decision: OffloadingDecision, rng: np.random.Generator
+    ) -> Tuple[OffloadingDecision, Tuple[int, ...]]:
+        """One neighbour plus the *touched set* describing the move.
+
+        The touched set covers every user whose assignment may differ
+        between ``X_old`` and ``X_new`` (the target user and, for moves
+        landing on an occupied slot, the displaced occupant) — exactly
+        what :meth:`~repro.core.delta.DeltaEvaluator.evaluate_move`
+        needs to update incrementally.  ``propose`` draws from the same
+        RNG stream, so the two entry points produce identical chains.
+        """
         new = decision.copy()
         user = int(rng.integers(new.n_users))
         rand = float(rng.random())
 
         if rand > self.swap_below:
             if rand < self.server_move_below:
-                self._move_server(new, user, rng)
+                touched = self._move_server(new, user, rng)
             elif new.n_channels > 1:
-                self._move_channel(new, user, rng)
+                touched = self._move_channel(new, user, rng)
+            else:
+                touched = ()
         elif rand > self.toggle_below:
-            self._swap(new, user, rng)
+            touched = self._swap(new, user, rng)
         else:
-            self._toggle(new, user, rng)
-        return new
+            touched = self._toggle(new, user, rng)
+        return new, touched
 
     # --- Moves ---------------------------------------------------------------
 
@@ -86,30 +103,35 @@ class NeighborhoodSampler:
             return int(free[int(rng.integers(len(free)))])
         return int(rng.integers(decision.n_channels))
 
+    @staticmethod
+    def _with_displaced(user: int, displaced) -> Tuple[int, ...]:
+        return (user,) if displaced is None else (user, displaced)
+
     def _move_server(
         self, decision: OffloadingDecision, user: int, rng: np.random.Generator
-    ) -> None:
+    ) -> Tuple[int, ...]:
         current = int(decision.server[user])
         if decision.n_servers == 1 and current != LOCAL:
-            return  # no "other" server exists
+            return ()  # no "other" server exists
         while True:
             target = int(rng.integers(decision.n_servers))
             if target != current:
                 break
         channel = self._random_slot_on(decision, target, rng)
-        decision.displace_and_assign(user, target, channel)
+        displaced = decision.displace_and_assign(user, target, channel)
+        return self._with_displaced(user, displaced)
 
     def _move_channel(
         self, decision: OffloadingDecision, user: int, rng: np.random.Generator
-    ) -> None:
+    ) -> Tuple[int, ...]:
         current_server = int(decision.server[user])
         current_channel = int(decision.channel[user])
         if current_server == LOCAL:
             # Local target user: give it a slot on a random server instead.
             server = int(rng.integers(decision.n_servers))
             channel = self._random_slot_on(decision, server, rng)
-            decision.displace_and_assign(user, server, channel)
-            return
+            displaced = decision.displace_and_assign(user, server, channel)
+            return self._with_displaced(user, displaced)
         free = [j for j in decision.free_channels(current_server) if j != current_channel]
         if free:
             channel = int(free[int(rng.integers(len(free)))])
@@ -118,26 +140,29 @@ class NeighborhoodSampler:
                 channel = int(rng.integers(decision.n_channels))
                 if channel != current_channel:
                     break
-        decision.displace_and_assign(user, current_server, channel)
+        displaced = decision.displace_and_assign(user, current_server, channel)
+        return self._with_displaced(user, displaced)
 
     @staticmethod
     def _swap(
         decision: OffloadingDecision, user: int, rng: np.random.Generator
-    ) -> None:
+    ) -> Tuple[int, ...]:
         if decision.n_users < 2:
-            return
+            return ()
         while True:
             other = int(rng.integers(decision.n_users))
             if other != user:
                 break
         decision.swap(user, other)
+        return (user, other)
 
     def _toggle(
         self, decision: OffloadingDecision, user: int, rng: np.random.Generator
-    ) -> None:
+    ) -> Tuple[int, ...]:
         if decision.is_offloaded(user):
             decision.set_local(user)
-        else:
-            server = int(rng.integers(decision.n_servers))
-            channel = self._random_slot_on(decision, server, rng)
-            decision.displace_and_assign(user, server, channel)
+            return (user,)
+        server = int(rng.integers(decision.n_servers))
+        channel = self._random_slot_on(decision, server, rng)
+        displaced = decision.displace_and_assign(user, server, channel)
+        return self._with_displaced(user, displaced)

@@ -1,6 +1,6 @@
 """Utility and cost evaluation for the JTORA problem.
 
-Two evaluation paths are provided and kept consistent (property-tested):
+Three evaluation paths are provided and kept consistent (property-tested):
 
 * the **fast path** :meth:`ObjectiveEvaluator.evaluate` computes the
   optimal-value function ``J*(X)`` of Eq. (24) directly from the closed
@@ -13,6 +13,15 @@ Two evaluation paths are provided and kept consistent (property-tested):
   the per-user delays, energies and utilities of Eq. (8)-(10) for a given
   allocation and sums them per Eq. (11).  With the KKT allocation the two
   paths agree exactly.
+
+* the **delta path** :class:`~repro.core.delta.DeltaEvaluator` computes
+  the same ``J*(X)`` incrementally from a cache of the previous
+  assignment, recomputing only the terms a single-user move can change.
+  It is bit-for-bit equal to the fast path; to make that possible the
+  fast path below reduces over *fixed-length* masked arrays (zeros for
+  local users) in a fixed order, which the delta path maintains
+  incrementally and reduces identically.  Keep the two in lockstep when
+  editing either.
 """
 
 from __future__ import annotations
@@ -112,33 +121,32 @@ class ObjectiveEvaluator:
             channel_of_user,
             validate=False,
         )
-        offloaded = np.flatnonzero(server_of_user >= 0)
+        mask = server_of_user >= 0
+        offloaded = np.flatnonzero(mask)
         if offloaded.size == 0:
             return 0.0
         se = stats.spectral_efficiency[offloaded]
         if np.any(se <= 0.0):
             return float("-inf")
 
-        # Gamma(X): communication cost (first term of Eq. 19).
-        comm_weight = sc.phi[offloaded] + sc.psi[offloaded] * sc.tx_power_watts[offloaded]
-        gamma_cost = float(np.sum(comm_weight / se))
+        # Net per-user benefit: the constant gain term of Eq. (16)/(24)
+        # minus the communication cost Gamma(X) (first term of Eq. 19),
+        # held in a full-length masked array (zeros for local users).
+        # The delta path maintains this exact array incrementally and
+        # reduces it the same way, so the two paths agree bitwise.
+        net = np.zeros(sc.n_users)
+        net[offloaded] = sc.offload_gain[offloaded] - sc.comm_weight[offloaded] / se
 
-        # Lambda(X, F*): optimal computation cost (Eq. 23), grouped by server.
+        # Lambda(X, F*): optimal computation cost (Eq. 23), grouped by
+        # server.  Local users contribute an exact-identity 0.0 to bucket
+        # 0 so the reduction shape stays fixed across assignments.
         root_sums = np.bincount(
-            server_of_user[offloaded],
-            weights=sc.sqrt_eta[offloaded],
+            np.where(mask, server_of_user, 0),
+            weights=np.where(mask, sc.sqrt_eta, 0.0),
             minlength=sc.n_servers,
         )
-        lambda_cost = float(np.sum(root_sums**2 / sc.server_cpu_hz))
-
-        # Constant gain term of Eq. (16)/(24).
-        gain = float(
-            np.sum(
-                sc.operator_weight[offloaded]
-                * (sc.beta_time[offloaded] + sc.beta_energy[offloaded])
-            )
-        )
-        return gain - gamma_cost - lambda_cost
+        lambda_cost = float((root_sums * root_sums / sc.server_cpu_hz).sum())
+        return float(net.sum()) - lambda_cost
 
     def evaluate(self, decision: OffloadingDecision) -> float:
         """``J*(X)`` (Eq. 24) for a decision object."""

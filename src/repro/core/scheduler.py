@@ -25,6 +25,7 @@ import numpy as np
 from repro.core.allocation import kkt_allocation
 from repro.core.annealing import AnnealingSchedule, ThresholdTriggeredAnnealer
 from repro.core.decision import OffloadingDecision
+from repro.core.delta import DeltaEvaluator
 from repro.core.neighborhood import NeighborhoodSampler
 from repro.core.objective import ObjectiveEvaluator
 from repro.errors import ConfigurationError
@@ -61,6 +62,9 @@ class ScheduleResult:
     evaluations: int
     wall_time_s: float
     trace: List[float] = field(default_factory=list)
+    #: Accepted annealer moves (improving + worse); 0 for non-annealing
+    #: schedulers.
+    accepted_moves: int = 0
 
 
 @runtime_checkable
@@ -90,9 +94,19 @@ class TsajsScheduler:
         Density of the random feasible initial solution.
     record_trace:
         Keep a per-temperature best-utility trace in the result.
+    use_delta:
+        Score candidates with the incremental
+        :class:`~repro.core.delta.DeltaEvaluator` instead of re-running
+        the full ``O(U·S·N)`` evaluation per move.  The delta path is
+        bit-for-bit equal to the full path, so with a fixed RNG the two
+        settings produce the exact same decision, allocation and
+        utility — this is purely a wall-clock optimisation.
     evaluator_factory:
         Builds the objective evaluator for a scenario; override to plug in
-        extended objectives (e.g. the downlink-aware evaluator).
+        extended objectives (e.g. the downlink-aware evaluator).  With
+        ``use_delta=True`` the factory's evaluator must expose the
+        :class:`~repro.core.delta.DeltaEvaluator` ``evaluate_move``
+        interface.
     """
 
     name = "TSAJS"
@@ -103,7 +117,10 @@ class TsajsScheduler:
         neighborhood: Optional[NeighborhoodSampler] = None,
         initial_offload_probability: float = 0.5,
         record_trace: bool = False,
-        evaluator_factory: Callable[["Scenario"], ObjectiveEvaluator] = ObjectiveEvaluator,
+        use_delta: bool = False,
+        evaluator_factory: Optional[
+            Callable[["Scenario"], ObjectiveEvaluator]
+        ] = None,
     ) -> None:
         if not 0.0 <= initial_offload_probability <= 1.0:
             raise ConfigurationError(
@@ -116,6 +133,9 @@ class TsajsScheduler:
         )
         self.initial_offload_probability = initial_offload_probability
         self.record_trace = record_trace
+        self.use_delta = use_delta
+        if evaluator_factory is None:
+            evaluator_factory = DeltaEvaluator if use_delta else ObjectiveEvaluator
         self.evaluator_factory = evaluator_factory
 
     def schedule(
@@ -147,6 +167,18 @@ class TsajsScheduler:
             offload_probability=self.initial_offload_probability,
         )
         annealer = ThresholdTriggeredAnnealer(self.schedule_params)
+        delta_kwargs = {}
+        if self.use_delta:
+            if not hasattr(evaluator, "evaluate_move"):
+                raise ConfigurationError(
+                    "use_delta=True needs an evaluator with evaluate_move "
+                    f"(got {type(evaluator).__name__}); use DeltaEvaluator "
+                    "or a subclass as the evaluator_factory"
+                )
+            delta_kwargs = dict(
+                propose_move=self.neighborhood.propose_move,
+                move_objective=evaluator.evaluate_move,
+            )
         outcome = annealer.run(
             initial_state=initial,
             objective=evaluator.evaluate,
@@ -154,6 +186,7 @@ class TsajsScheduler:
             rng=rng,
             default_initial_temperature=float(scenario.n_subbands),
             record_trace=self.record_trace,
+            **delta_kwargs,
         )
 
         best = outcome.best_state
@@ -173,4 +206,5 @@ class TsajsScheduler:
             evaluations=evaluator.evaluations,
             wall_time_s=time.perf_counter() - start,
             trace=list(outcome.best_trace),
+            accepted_moves=outcome.accepted_moves,
         )

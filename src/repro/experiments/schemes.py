@@ -2,7 +2,8 @@
 
 Maps the scheme names used throughout the paper (and this library's
 extensions) to constructor callables, with a ``quick`` knob for the
-annealer-based schemes.
+annealer-based schemes and a ``use_delta`` knob selecting the
+incremental (bitwise-equal) evaluation path for the TSAJS variants.
 """
 
 from __future__ import annotations
@@ -33,19 +34,25 @@ def _annealing(quick: bool) -> AnnealingSchedule:
     )
 
 
-#: Scheme name -> factory taking the quick flag.
-SCHEME_FACTORIES: Dict[str, Callable[[bool], Scheduler]] = {
-    "TSAJS": lambda quick: TsajsScheduler(schedule=_annealing(quick)),
-    "hJTORA": lambda quick: HJtoraScheduler(),
-    "LocalSearch": lambda quick: LocalSearchScheduler(),
-    "Greedy": lambda quick: GreedyScheduler(),
-    "Exhaustive": lambda quick: ExhaustiveScheduler(),
-    "GA": lambda quick: GeneticScheduler(
+#: Scheme name -> factory taking the (quick, use_delta) flags.  The
+#: non-annealing baselines ignore use_delta (they have no inner loop the
+#: delta evaluator accelerates).
+SCHEME_FACTORIES: Dict[str, Callable[[bool, bool], Scheduler]] = {
+    "TSAJS": lambda quick, use_delta=False: TsajsScheduler(
+        schedule=_annealing(quick), use_delta=use_delta
+    ),
+    "hJTORA": lambda quick, use_delta=False: HJtoraScheduler(),
+    "LocalSearch": lambda quick, use_delta=False: LocalSearchScheduler(),
+    "Greedy": lambda quick, use_delta=False: GreedyScheduler(),
+    "Exhaustive": lambda quick, use_delta=False: ExhaustiveScheduler(),
+    "GA": lambda quick, use_delta=False: GeneticScheduler(
         generations=20 if quick else 80
     ),
-    "TSAJS-PC": lambda quick: TsajsWithPowerControl(schedule=_annealing(quick)),
-    "AllLocal": lambda quick: AllLocalScheduler(),
-    "Random": lambda quick: RandomScheduler(samples=10),
+    "TSAJS-PC": lambda quick, use_delta=False: TsajsWithPowerControl(
+        schedule=_annealing(quick), use_delta=use_delta
+    ),
+    "AllLocal": lambda quick, use_delta=False: AllLocalScheduler(),
+    "Random": lambda quick, use_delta=False: RandomScheduler(samples=10),
 }
 
 
@@ -54,7 +61,9 @@ def available_schemes() -> List[str]:
     return list(SCHEME_FACTORIES.keys())
 
 
-def build_schemes(names: List[str], quick: bool = False) -> List[Scheduler]:
+def build_schemes(
+    names: List[str], quick: bool = False, use_delta: bool = False
+) -> List[Scheduler]:
     """Instantiate schedulers for the given scheme names.
 
     Raises :class:`ConfigurationError` for unknown or duplicate names.
@@ -69,5 +78,5 @@ def build_schemes(names: List[str], quick: bool = False) -> List[Scheduler]:
             raise ConfigurationError(
                 f"unknown scheme {name!r}; available: {', '.join(available_schemes())}"
             ) from None
-        schedulers.append(factory(quick))
+        schedulers.append(factory(quick, use_delta))
     return schedulers

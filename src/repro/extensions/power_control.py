@@ -257,10 +257,11 @@ class TsajsWithPowerControl:
         rounds: int = 2,
         p_min_watts: float = 1e-3,
         p_max_watts: float = 0.1,
+        use_delta: bool = False,
     ) -> None:
         if rounds < 1:
             raise ConfigurationError(f"rounds must be >= 1, got {rounds}")
-        self.tsajs = TsajsScheduler(schedule=schedule)
+        self.tsajs = TsajsScheduler(schedule=schedule, use_delta=use_delta)
         self.rounds = rounds
         self.p_min_watts = p_min_watts
         self.p_max_watts = p_max_watts

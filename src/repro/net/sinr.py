@@ -135,6 +135,12 @@ def compute_link_stats(
         # different cell).
         rx = gains[offloaded, :, chan] * tx_power_watts[offloaded, None]
         total_rx = np.zeros((n_channels, n_servers))
+        # Accumulation-order contract: np.add.at walks the rows in
+        # ascending user order, so each (band, station) bucket is the
+        # sequential sum of its members' rx rows by user index.  The
+        # delta evaluator (repro.core.delta) rebuilds touched buckets in
+        # that same order to stay bitwise equal to this path — do not
+        # change the accumulation scheme without updating it.
         np.add.at(total_rx, chan, rx)
 
         signal = tx_power_watts[offloaded] * gains[offloaded, srv, chan]

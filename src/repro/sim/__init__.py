@@ -3,7 +3,12 @@
 from repro.sim.config import SimulationConfig
 from repro.sim.episodes import EpisodeConfig, EpisodeResult, EpisodeRunner, run_episode
 from repro.sim.metrics import SolutionMetrics, solution_metrics
-from repro.sim.runner import ExperimentResult, run_schemes
+from repro.sim.runner import (
+    ExperimentResult,
+    ExperimentRunner,
+    run_schemes,
+    set_default_n_workers,
+)
 from repro.sim.scenario import Scenario
 from repro.sim.stats import SummaryStats, mean_confidence_interval, summarize
 
@@ -12,6 +17,7 @@ __all__ = [
     "EpisodeResult",
     "EpisodeRunner",
     "ExperimentResult",
+    "ExperimentRunner",
     "Scenario",
     "SimulationConfig",
     "SolutionMetrics",
@@ -19,6 +25,7 @@ __all__ = [
     "mean_confidence_interval",
     "run_episode",
     "run_schemes",
+    "set_default_n_workers",
     "solution_metrics",
     "summarize",
 ]

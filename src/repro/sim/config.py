@@ -57,6 +57,13 @@ class SimulationConfig:
     beta_time: float = 0.5
     operator_weight: float = 1.0
 
+    # Execution knobs (wall-clock only: neither changes any result bit).
+    #: Score annealer moves with the incremental
+    #: :class:`~repro.core.delta.DeltaEvaluator` (bitwise-equal fast path).
+    use_delta: bool = False
+    #: Default process count for multi-seed runs (1 = run in-process).
+    n_workers: int = 1
+
     def __post_init__(self) -> None:
         if self.n_users < 0:
             raise ConfigurationError(f"n_users must be non-negative, got {self.n_users}")
@@ -93,6 +100,10 @@ class SimulationConfig:
         if not 0.0 < self.operator_weight <= 1.0:
             raise ConfigurationError(
                 f"operator_weight must lie in (0, 1], got {self.operator_weight}"
+            )
+        if self.n_workers < 1:
+            raise ConfigurationError(
+                f"n_workers must be >= 1, got {self.n_workers}"
             )
 
     # --- SI accessors -----------------------------------------------------

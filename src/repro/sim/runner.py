@@ -11,7 +11,7 @@ decorrelated from the instance draw), and collects
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.scheduler import Scheduler
 from repro.errors import ConfigurationError
@@ -68,11 +68,30 @@ def _run_one_seed(
     return metrics
 
 
+#: Fallback worker count used when neither ``run_schemes(n_jobs=...)`` nor
+#: ``config.n_workers`` asks for parallelism (set by ``tsajs run --workers``).
+_DEFAULT_N_JOBS = 1
+
+
+def set_default_n_workers(n_workers: int) -> None:
+    """Set the process-level default worker count for multi-seed runs.
+
+    Experiment drivers build their own configs internally, so a CLI flag
+    cannot reach them through ``config.n_workers``; this module-level
+    default is the escape hatch.  Explicit ``n_jobs`` arguments and
+    non-default ``config.n_workers`` values still take precedence.
+    """
+    global _DEFAULT_N_JOBS
+    if n_workers < 1:
+        raise ConfigurationError(f"n_workers must be >= 1, got {n_workers}")
+    _DEFAULT_N_JOBS = n_workers
+
+
 def run_schemes(
     config: SimulationConfig,
     schedulers: Sequence[Scheduler],
     seeds: Sequence[int],
-    n_jobs: int = 1,
+    n_jobs: Optional[int] = None,
 ) -> ExperimentResult:
     """Run every scheduler on every seed's scenario instance.
 
@@ -80,15 +99,19 @@ def run_schemes(
     adding or reordering schemes never perturbs the scenario draw
     (streams 0-1) and two stochastic schemes never share a chain.
 
-    ``n_jobs > 1`` fans the seeds out over a process pool; results are
+    ``n_jobs`` defaults to ``config.n_workers`` (falling back to the
+    process-level default set by :func:`set_default_n_workers`).  More
+    than one job fans the seeds out over a process pool; results are
     bit-identical to the sequential run (each seed is an independent,
-    fully-seeded work unit), so parallelism is purely a wall-clock
-    optimisation.  Schedulers must be picklable in that case (all
-    built-in ones are).
+    fully-seeded work unit and the merge preserves seed order), so
+    parallelism is purely a wall-clock optimisation.  Schedulers must be
+    picklable in that case (all built-in ones are).
     """
     seeds = list(seeds)
     if not seeds:
         raise ConfigurationError("need at least one seed")
+    if n_jobs is None:
+        n_jobs = config.n_workers if config.n_workers != 1 else _DEFAULT_N_JOBS
     if n_jobs < 1:
         raise ConfigurationError(f"n_jobs must be >= 1, got {n_jobs}")
     names = [s.name for s in schedulers]
@@ -118,3 +141,26 @@ def run_schemes(
         for name, entry in zip(names, metrics):
             result.metrics[name].append(entry)
     return result
+
+
+@dataclass(frozen=True)
+class ExperimentRunner:
+    """Reusable multi-seed runner bound to one config and scheme set.
+
+    A thin object wrapper around :func:`run_schemes` for callers that run
+    the same experiment point repeatedly (seed batches, notebooks, the
+    determinism tests).  ``n_workers=None`` defers to ``config.n_workers``;
+    any value keeps the deterministic seed-ordered merge, so
+    ``ExperimentRunner(..., n_workers=4).run(seeds)`` returns exactly the
+    same metrics as the serial run.
+    """
+
+    config: SimulationConfig
+    schedulers: Sequence[Scheduler]
+    n_workers: Optional[int] = None
+
+    def run(self, seeds: Sequence[int]) -> ExperimentResult:
+        """Run every scheduler on every seed (see :func:`run_schemes`)."""
+        return run_schemes(
+            self.config, self.schedulers, seeds, n_jobs=self.n_workers
+        )

@@ -64,6 +64,8 @@ class Scenario:
     psi: np.ndarray = field(init=False, repr=False)
     eta: np.ndarray = field(init=False, repr=False)
     sqrt_eta: np.ndarray = field(init=False, repr=False)
+    comm_weight: np.ndarray = field(init=False, repr=False)
+    offload_gain: np.ndarray = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
         gains = np.asarray(self.gains, dtype=float)
@@ -118,6 +120,15 @@ class Scenario:
         object.__setattr__(self, "psi", psi)
         object.__setattr__(self, "eta", eta)
         object.__setattr__(self, "sqrt_eta", np.sqrt(eta))
+        # Objective constants shared by the full and delta evaluation
+        # paths: the per-user communication-cost numerator of Eq. (19)
+        # and the constant gain term of Eq. (16)/(24).
+        object.__setattr__(
+            self, "comm_weight", phi + psi * self.tx_power_watts
+        )
+        object.__setattr__(
+            self, "offload_gain", lam * (self.beta_time + self.beta_energy)
+        )
 
     # --- Shape helpers ----------------------------------------------------
 

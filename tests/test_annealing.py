@@ -204,3 +204,123 @@ class TestAnnealerBehaviour:
         assert runs[0].best_state == runs[1].best_state
         assert runs[0].best_value == runs[1].best_value
         assert runs[0].iterations == runs[1].iterations
+
+
+def _run_flat(schedule: AnnealingSchedule):
+    """Flat landscape: every proposal is an accepted-worse move (delta = 0,
+    exp(0/T) = 1 > rand), so the accepted-worse count grows by exactly
+    chain_length per temperature level — ideal for pinning maxCount."""
+    return ThresholdTriggeredAnnealer(schedule).run(
+        0, lambda x: 0.0, lambda x, rng: x + 1, np.random.default_rng(0)
+    )
+
+
+class TestMaxCountBoundary:
+    """Exact-boundary semantics: the count is compared once per chain, at
+    its end, and count >= maxCount triggers fast cooling + counter reset."""
+
+    def _levels(self, t0, tmin, alphas):
+        """Temperature levels run, given per-level cooling factors."""
+        levels, t = 0, t0
+        for alpha in alphas:
+            if t <= tmin:
+                break
+            levels += 1
+            t *= alpha
+        return levels
+
+    def test_exact_boundary_triggers(self):
+        # maxCount = 1.0 * 4 = 4 accepted-worse; one chain accumulates
+        # exactly 4, so count == maxCount at the FIRST end-of-chain check:
+        # >= must trigger every level.
+        schedule = AnnealingSchedule(
+            initial_temperature=1.0,
+            min_temperature=0.5,
+            alpha_fast=0.5,
+            chain_length=4,
+            threshold_factor=1.0,
+        )
+        result = _run_flat(schedule)
+        assert result.fast_coolings == 1  # 1.0 -> 0.5 ends the run
+        assert result.iterations == 4
+
+    def test_just_below_boundary_does_not_trigger(self):
+        # maxCount = 1.25 * 4 = 5: chain 1 ends with count 4 < 5 (slow),
+        # chain 2 ends with count 8 >= 5 (fast + reset) — alternating.
+        schedule = AnnealingSchedule(
+            initial_temperature=1.0,
+            min_temperature=0.8**6 + 1e-12,
+            alpha_slow=0.8,
+            alpha_fast=0.8,  # equal rates: level count fixed at 6
+            chain_length=4,
+            threshold_factor=1.25,
+        )
+        result = _run_flat(schedule)
+        assert result.iterations == 6 * 4
+        assert result.fast_coolings == 3  # levels 2, 4, 6
+
+    def test_counter_resets_after_trigger(self):
+        # threshold_factor=2 with L=4: trigger at every second chain end
+        # (counts 4, 8 -> fast; reset; 4, 8 -> fast; ...).  A reset-free
+        # implementation would instead fire at every chain from the
+        # second one on.
+        schedule = AnnealingSchedule(
+            initial_temperature=1.0,
+            min_temperature=0.9**8 + 1e-12,
+            alpha_slow=0.9,
+            alpha_fast=0.9,
+            chain_length=4,
+            threshold_factor=2.0,
+        )
+        result = _run_flat(schedule)
+        assert result.iterations == 8 * 4
+        assert result.fast_coolings == 4  # every second of 8 levels
+
+    def test_count_accumulates_across_chains(self):
+        # maxCount = 2.5 * 2 = 5: chains end with running counts 2, 4,
+        # 6 -> the trigger first fires at the end of the THIRD chain even
+        # though no single chain accepted 5 worse moves.
+        schedule = AnnealingSchedule(
+            initial_temperature=1.0,
+            min_temperature=0.9**3 + 1e-12,
+            alpha_slow=0.9,
+            alpha_fast=0.9,
+            chain_length=2,
+            threshold_factor=2.5,
+        )
+        result = _run_flat(schedule)
+        assert result.iterations == 3 * 2
+        assert result.fast_coolings == 1
+
+    def test_paper_defaults_trigger_at_53(self):
+        # maxCount = 52.5 with L = 30: running counts 30, 60 -> the first
+        # fast cooling happens at the end of chain 2, once 53+ worsened
+        # moves have accumulated.
+        schedule = AnnealingSchedule(
+            initial_temperature=1.0,
+            min_temperature=0.9**2 + 1e-12,
+            alpha_slow=0.9,
+            alpha_fast=0.9,
+        )
+        result = _run_flat(schedule)
+        assert schedule.max_count == pytest.approx(52.5)
+        assert result.iterations == 2 * 30
+        assert result.fast_coolings == 1
+
+    def test_accepted_moves_counts_all_acceptances(self):
+        # Flat landscape: every move is accepted (as accepted-worse).
+        schedule = AnnealingSchedule(
+            initial_temperature=1.0,
+            min_temperature=0.5,
+            alpha_slow=0.5,
+            chain_length=7,
+            threshold_factor=1e9,
+        )
+        result = _run_flat(schedule)
+        assert result.accepted_moves == result.iterations == 7
+        # Strictly improving landscape: likewise all accepted, none worse.
+        improving = ThresholdTriggeredAnnealer(schedule).run(
+            0, lambda x: float(x), lambda x, rng: x + 1, np.random.default_rng(0)
+        )
+        assert improving.accepted_moves == 7
+        assert improving.fast_coolings == 0

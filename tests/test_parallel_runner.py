@@ -1,0 +1,87 @@
+"""Determinism of the process-parallel multi-seed runner.
+
+Each seed is a fully self-seeding work unit (the scenario draw and every
+scheduler RNG derive from the seed alone) and the merge preserves seed
+order, so a parallel run must reproduce the serial run bit for bit in
+every metric except wall-clock time.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.baselines import GreedyScheduler
+from repro.core.annealing import AnnealingSchedule
+from repro.core.scheduler import TsajsScheduler
+from repro.errors import ConfigurationError
+from repro.sim.config import SimulationConfig
+from repro.sim.runner import ExperimentRunner, run_schemes
+
+#: Every SolutionMetrics field that must match bitwise (wall_time_s is
+#: the one field parallelism is allowed to change).
+COMPARED_FIELDS = (
+    "system_utility",
+    "mean_time_s",
+    "mean_energy_j",
+    "mean_offloaded_time_s",
+    "mean_offloaded_energy_j",
+    "n_offloaded",
+    "evaluations",
+)
+
+
+def fig4_schedulers():
+    return [
+        TsajsScheduler(
+            schedule=AnnealingSchedule(chain_length=10, min_temperature=1e-2),
+            use_delta=True,
+        ),
+        GreedyScheduler(),
+    ]
+
+
+def assert_identical_metrics(serial, parallel):
+    assert serial.schemes == parallel.schemes
+    assert serial.seeds == parallel.seeds
+    for name in serial.schemes:
+        for a, b in zip(serial.metrics[name], parallel.metrics[name]):
+            for fieldname in COMPARED_FIELDS:
+                x, y = getattr(a, fieldname), getattr(b, fieldname)
+                if isinstance(x, float) and math.isnan(x):
+                    assert math.isnan(y), (name, fieldname)
+                else:
+                    assert x == y, (name, fieldname, x, y)
+
+
+@pytest.mark.slow
+def test_parallel_bitwise_identical_to_serial():
+    """ExperimentRunner(n_workers=4) == serial on the Fig. 4 config."""
+    config = SimulationConfig()  # the paper's Fig. 4 point: U=30, S=9, N=3
+    seeds = [2025, 2026, 2027, 2028]
+    schedulers = fig4_schedulers()
+    serial = run_schemes(config, schedulers, seeds, n_jobs=1)
+    parallel = ExperimentRunner(config, schedulers, n_workers=4).run(seeds)
+    assert_identical_metrics(serial, parallel)
+
+
+@pytest.mark.slow
+def test_n_workers_resolved_from_config():
+    """run_schemes(n_jobs=None) honours config.n_workers."""
+    config = SimulationConfig(
+        n_users=8, n_servers=3, n_subbands=2, n_workers=2, use_delta=True
+    )
+    seeds = [1, 2]
+    schedulers = fig4_schedulers()
+    serial = run_schemes(config, schedulers, seeds, n_jobs=1)
+    via_config = run_schemes(config, schedulers, seeds)
+    assert_identical_metrics(serial, via_config)
+
+
+def test_runner_rejects_bad_worker_counts():
+    config = SimulationConfig(n_users=4, n_servers=2, n_subbands=2)
+    with pytest.raises(ConfigurationError):
+        run_schemes(config, fig4_schedulers(), [1], n_jobs=0)
+    with pytest.raises(ConfigurationError):
+        SimulationConfig(n_workers=0)

@@ -59,13 +59,18 @@ def test_partial_never_below_atomic(pair):
 @given(scenario_and_decision())
 @settings(max_examples=60, deadline=None)
 def test_partial_per_user_nonnegative(pair):
-    """rho = 0 is always feasible, so the per-user benefit is >= 0."""
+    """rho = 0 is always feasible, so the per-user benefit is >= 0.
+
+    Only the *weighted* benefit is guaranteed non-negative: the optimal
+    fraction may trade one component against the other (e.g. spend more
+    time to save energy when beta_time is small), so the per-component
+    time/energy can individually exceed pure-local execution.
+    """
     scenario, decision = pair
     result = optimal_fractions(scenario, decision)
     assert np.all(result.utility >= -1e-12)
-    # Experienced time/energy never exceed pure-local execution.
-    assert np.all(result.time_s <= scenario.local_time_s + 1e-9)
-    assert np.all(result.energy_j <= scenario.local_energy_j + 1e-9)
+    assert np.all(result.fractions >= 0.0)
+    assert np.all(result.fractions <= 1.0)
 
 
 @given(scenario_and_decision(), st.integers(min_value=0, max_value=100))
