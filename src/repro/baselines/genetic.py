@@ -30,6 +30,7 @@ from repro.core.neighborhood import NeighborhoodSampler
 from repro.core.objective import ObjectiveEvaluator
 from repro.core.scheduler import ScheduleResult
 from repro.errors import ConfigurationError
+from repro.sim.rng import make_rng
 
 if TYPE_CHECKING:  # pragma: no cover - type-only import
     from repro.sim.scenario import Scenario
@@ -137,7 +138,7 @@ class GeneticScheduler:
         self, scenario: "Scenario", rng: Optional[np.random.Generator] = None
     ) -> ScheduleResult:
         """Evolve a population of decisions; return the fittest found."""
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = rng if rng is not None else make_rng()
         start = time.perf_counter()
         evaluator = self.evaluator_factory(scenario)
 

@@ -25,6 +25,7 @@ from repro.core.neighborhood import NeighborhoodSampler
 from repro.core.objective import ObjectiveEvaluator
 from repro.core.scheduler import ScheduleResult
 from repro.errors import ConfigurationError
+from repro.sim.rng import make_rng
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - type-only import
@@ -82,7 +83,7 @@ class LocalSearchScheduler:
         self, scenario: "Scenario", rng: Optional[np.random.Generator] = None
     ) -> ScheduleResult:
         """First-improvement hill climbing from a random feasible start."""
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = rng if rng is not None else make_rng()
         start = time.perf_counter()
         evaluator = self.evaluator_factory(scenario)
 

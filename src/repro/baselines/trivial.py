@@ -18,6 +18,7 @@ from repro.core.decision import OffloadingDecision
 from repro.core.objective import ObjectiveEvaluator
 from repro.core.scheduler import ScheduleResult
 from repro.errors import ConfigurationError
+from repro.sim.rng import make_rng
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - type-only import
@@ -66,7 +67,7 @@ class RandomScheduler:
     def schedule(
         self, scenario: "Scenario", rng: Optional[np.random.Generator] = None
     ) -> ScheduleResult:
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = rng if rng is not None else make_rng()
         start = time.perf_counter()
         evaluator = ObjectiveEvaluator(scenario)
         best = None

@@ -17,6 +17,9 @@ Sub-commands
 ``tsajs episode [--pool P --slots T --outage q ...]``
     Run the slot-based episodic simulation (activity, mobility churn,
     server-outage fault injection) and print the per-slot log.
+``tsajs lint [PATHS ...] [--format text|json] [--rules R001,...]``
+    Run the project's static-analysis rules (determinism, unit
+    discipline, paper-equation traceability); exits 1 on findings.
 """
 
 from __future__ import annotations
@@ -30,6 +33,7 @@ import numpy as np
 from repro import __version__
 from repro.experiments.registry import get_experiment, list_experiments
 from repro.experiments.report import render_text
+from repro.lint import cli as lint
 from repro.sim.config import SimulationConfig
 from repro.sim.rng import child_rng
 from repro.sim.scenario import Scenario
@@ -102,6 +106,11 @@ def _build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("schemes", help="list available scheduling schemes")
 
+    lint_parser = sub.add_parser(
+        "lint", help="run the project-specific static-analysis rules"
+    )
+    lint.add_arguments(lint_parser)
+
     episode_parser = sub.add_parser(
         "episode", help="run a slot-based episodic simulation"
     )
@@ -173,6 +182,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         n_subbands=args.subbands,
         workload_megacycles=args.workload_mc,
         input_kb=args.input_kb,
+        use_delta=args.delta,
     )
     scenario = Scenario.build(config, seed=args.seed)
     print(
@@ -180,7 +190,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         f"w={args.workload_mc:.0f} Mc d={args.input_kb:.0f} KB seed={args.seed}"
     )
     names = [name.strip() for name in args.schemes.split(",") if name.strip()]
-    schedulers = build_schemes(names, quick=args.quick, use_delta=args.delta)
+    schedulers = build_schemes(names, quick=args.quick, use_delta=config.use_delta)
     for index, scheduler in enumerate(schedulers):
         rng = child_rng(args.seed, 100 + index)
         result = scheduler.schedule(scenario, rng)
@@ -246,6 +256,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_schemes()
     if args.command == "episode":
         return _cmd_episode(args)
+    if args.command == "lint":
+        return lint.run(args, prog="tsajs lint")
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -59,7 +59,7 @@ scratch-array loops.
 from __future__ import annotations
 
 from bisect import insort
-from typing import Iterable, Optional, TYPE_CHECKING
+from typing import Iterable, List, Optional, Tuple, TYPE_CHECKING
 
 import numpy as np
 
@@ -102,12 +102,12 @@ class DeltaEvaluator(ObjectiveEvaluator):
         """Reset the cache to the all-local assignment."""
         sc = self.scenario
         n_users, n_servers, n_subbands = sc.n_users, sc.n_servers, sc.n_subbands
-        self._server_list = [LOCAL] * n_users
-        self._channel_list = [LOCAL] * n_users
+        self._server_list: List[int] = [LOCAL] * n_users
+        self._channel_list: List[int] = [LOCAL] * n_users
         #: Occupants of each sub-band, kept sorted ascending (invariant 1).
-        self._band_users = [[] for _ in range(n_subbands)]
+        self._band_users: List[List[int]] = [[] for _ in range(n_subbands)]
         #: Current received-power row of each offloaded user.
-        self._rx_rows = [None] * n_users
+        self._rx_rows: List[Optional[List[float]]] = [None] * n_users
         self._total_rx = [[0.0] * n_servers for _ in range(n_subbands)]
         self._signal = [0.0] * n_users
         self._se = [0.0] * n_users
@@ -128,7 +128,7 @@ class DeltaEvaluator(ObjectiveEvaluator):
         channel_of_user: np.ndarray,
         touched: Optional[Iterable[int]] = None,
     ) -> float:
-        """``J*(X)``, recomputing only what changed since the last call.
+        """``J*(X)`` (Eq. 24), recomputing only what changed since the last call.
 
         ``touched`` must cover every user whose assignment may differ
         from the previously evaluated one (see the module docstring);
@@ -149,7 +149,7 @@ class DeltaEvaluator(ObjectiveEvaluator):
         else:
             server, channel = server_of_user, channel_of_user
             changed = []
-            seen = []
+            seen: List[int] = []
             for u in touched:
                 if u in seen:  # touched sets are tiny; a set() costs more
                     continue
@@ -165,7 +165,7 @@ class DeltaEvaluator(ObjectiveEvaluator):
     def evaluate_move(
         self, decision: OffloadingDecision, touched: Iterable[int] = ()
     ) -> float:
-        """``J*(X)`` for a decision whose changed users lie in ``touched``."""
+        """``J*(X)`` (Eq. 24) for a decision whose changed users lie in ``touched``."""
         # Inlined copy of evaluate_assignment's touched path — this is the
         # annealer's per-proposal call, where even argument re-dispatch
         # shows up in the profile.
@@ -173,8 +173,8 @@ class DeltaEvaluator(ObjectiveEvaluator):
         server = decision.server
         channel = decision.channel
         server_list, channel_list = self._server_list, self._channel_list
-        changed = []
-        seen = []
+        changed: List[Tuple[int, int, int]] = []
+        seen: List[int] = []
         for u in touched:
             if u in seen:
                 continue
@@ -189,7 +189,7 @@ class DeltaEvaluator(ObjectiveEvaluator):
 
     # --- Internals ---------------------------------------------------------
 
-    def _apply(self, changed) -> None:
+    def _apply(self, changed: List[Tuple[int, int, int]]) -> None:
         server_list, channel_list = self._server_list, self._channel_list
         rx_rows = self._rx_rows
         bands = set()
@@ -232,10 +232,12 @@ class DeltaEvaluator(ObjectiveEvaluator):
                 self._signal[u] = row[new_server]
         # Rebuild the received-power buckets of every touched band by
         # summing occupant rows in ascending-user order — the order
-        # np.add.at accumulates in on the full path (invariant 1).
+        # np.add.at accumulates in on the full path (invariant 1).  Bands
+        # are visited in sorted order: each bucket is rebuilt independently,
+        # so the order cannot change values, only make it deterministic.
         total_rx = self._total_rx
-        affected = []
-        for band in bands:
+        affected: List[int] = []
+        for band in sorted(bands):
             occupants = self._band_users[band]
             if occupants:
                 first = iter(occupants)
@@ -251,7 +253,7 @@ class DeltaEvaluator(ObjectiveEvaluator):
         if affected:
             self._refresh(affected)
 
-    def _refresh(self, affected) -> None:
+    def _refresh(self, affected: List[int]) -> None:
         """Recompute SINR-dependent terms for users on touched bands.
 
         All scalar arithmetic below reproduces compute_link_stats'

@@ -24,7 +24,7 @@ this extension keeps the chain irreducible over the whole feasible set.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -59,13 +59,13 @@ class NeighborhoodSampler:
     def propose(
         self, decision: OffloadingDecision, rng: np.random.Generator
     ) -> OffloadingDecision:
-        """One neighbour ``X_new`` of ``X_old`` (the input is not mutated)."""
+        """One neighbour ``X_new`` of ``X_old`` per Algorithm 2 (input not mutated)."""
         return self.propose_move(decision, rng)[0]
 
     def propose_move(
         self, decision: OffloadingDecision, rng: np.random.Generator
     ) -> Tuple[OffloadingDecision, Tuple[int, ...]]:
-        """One neighbour plus the *touched set* describing the move.
+        """One neighbour (Algorithm 2) plus the *touched set* describing the move.
 
         The touched set covers every user whose assignment may differ
         between ``X_old`` and ``X_new`` (the target user and, for moves
@@ -104,7 +104,7 @@ class NeighborhoodSampler:
         return int(rng.integers(decision.n_channels))
 
     @staticmethod
-    def _with_displaced(user: int, displaced) -> Tuple[int, ...]:
+    def _with_displaced(user: int, displaced: Optional[int]) -> Tuple[int, ...]:
         return (user,) if displaced is None else (user, displaced)
 
     def _move_server(

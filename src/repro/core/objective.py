@@ -104,7 +104,7 @@ class ObjectiveEvaluator:
     def evaluate_assignment(
         self, server_of_user: np.ndarray, channel_of_user: np.ndarray
     ) -> float:
-        """``J*(X)`` for raw assignment vectors (hot path, no validation).
+        """``J*(X)`` (Eq. 24) for raw assignment vectors (hot path, no validation).
 
         Returns ``-inf`` when an offloaded user has zero achievable rate
         (the upload would never finish, so the decision has unbounded
@@ -159,7 +159,7 @@ class ObjectiveEvaluator:
         decision: OffloadingDecision,
         allocation: Optional[np.ndarray] = None,
     ) -> UtilityBreakdown:
-        """Materialise per-user delays, energies and utilities.
+        """Materialise per-user delays, energies and utilities (Eq. 8-11).
 
         Parameters
         ----------

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Protocol, runtime_checkable
+from typing import Any, Callable, Dict, List, Optional, Protocol, runtime_checkable
 
 import numpy as np
 
@@ -142,7 +142,11 @@ class TsajsScheduler:
         self, scenario: "Scenario", rng: Optional[np.random.Generator] = None
     ) -> ScheduleResult:
         """Run Algorithm 1 on ``scenario`` and return ``(X, F, J)``."""
-        rng = rng if rng is not None else np.random.default_rng()
+        # Imported here: repro.sim imports this module at package-init
+        # time, so a top-level import would be circular.
+        from repro.sim.rng import make_rng
+
+        rng = rng if rng is not None else make_rng()
         start = time.perf_counter()
         evaluator = self.evaluator_factory(scenario)
 
@@ -167,7 +171,7 @@ class TsajsScheduler:
             offload_probability=self.initial_offload_probability,
         )
         annealer = ThresholdTriggeredAnnealer(self.schedule_params)
-        delta_kwargs = {}
+        delta_kwargs: Dict[str, Any] = {}
         if self.use_delta:
             if not hasattr(evaluator, "evaluate_move"):
                 raise ConfigurationError(

@@ -34,6 +34,7 @@ from repro.core.decision import OffloadingDecision
 from repro.core.scheduler import ScheduleResult, TsajsScheduler
 from repro.errors import ConfigurationError
 from repro.net.sinr import compute_link_stats
+from repro.sim.rng import make_rng
 from repro.sim.scenario import Scenario
 from repro.tasks.device import UserDevice
 
@@ -270,7 +271,7 @@ class TsajsWithPowerControl:
         self, scenario: Scenario, rng: Optional[np.random.Generator] = None
     ) -> JointScheduleResult:
         """Alternate TSAJS and power best-response for ``rounds`` rounds."""
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = rng if rng is not None else make_rng()
         current = scenario
         history: List[float] = []
         result = None

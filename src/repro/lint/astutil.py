@@ -1,0 +1,66 @@
+"""Small AST helpers shared by the lint rules."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Tuple
+
+
+def dotted_name(node: ast.expr) -> Optional[Tuple[str, ...]]:
+    """``("np", "random", "default_rng")`` for a Name/Attribute chain.
+
+    Returns ``None`` for anything that is not a pure dotted name (calls,
+    subscripts, literals, ...).
+    """
+    parts = []
+    current: ast.expr = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    parts.append(current.id)
+    return tuple(reversed(parts))
+
+
+def iter_docstrings(
+    tree: ast.Module,
+) -> Iterator[Tuple[ast.AST, Optional[str], int]]:
+    """Yield ``(node, docstring, line)`` for the module, classes and defs.
+
+    ``line`` anchors diagnostics: the docstring's own first line when one
+    exists, else the definition line.
+    """
+    nodes: Tuple[ast.AST, ...] = (tree,) + tuple(
+        n
+        for n in ast.walk(tree)
+        if isinstance(n, (ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef))
+    )
+    for node in nodes:
+        doc = ast.get_docstring(node, clean=False)
+        if isinstance(node, ast.Module):
+            line = 1
+        else:
+            line = node.lineno
+        if doc is not None and getattr(node, "body", None):
+            first = node.body[0]  # type: ignore[attr-defined]
+            if isinstance(first, ast.Expr):
+                line = first.lineno
+        yield node, doc, line
+
+
+def qualified_functions(
+    tree: ast.Module,
+) -> Iterator[Tuple[str, ast.FunctionDef]]:
+    """Yield ``("Class.method" | "function", node)`` for module-level defs.
+
+    Only one nesting level (methods of module-level classes) is resolved —
+    enough for the equation-registry contract, which names public API.
+    """
+    for node in tree.body:
+        if isinstance(node, ast.FunctionDef):
+            yield node.name, node
+        elif isinstance(node, ast.ClassDef):
+            for item in node.body:
+                if isinstance(item, ast.FunctionDef):
+                    yield f"{node.name}.{item.name}", item

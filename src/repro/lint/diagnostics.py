@@ -1,0 +1,31 @@
+"""File/line-anchored lint diagnostics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict
+
+
+@dataclass(frozen=True, order=True)
+class Diagnostic:
+    """One finding, sortable into a stable (path, line, col, rule) order."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+
+    def render(self) -> str:
+        """The one-line human-readable form used by the text reporter."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The JSON-reporter representation (stable schema, version 1)."""
+        return {
+            "rule": self.rule_id,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }

@@ -1,0 +1,167 @@
+"""File collection, parsing, rule execution and suppression filtering."""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+#: Anything Path() accepts.
+PathInput = Union[str, "os.PathLike[str]"]
+
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.registry import all_rules, get_rule
+from repro.lint.rules_base import FileContext, Rule
+from repro.lint.suppressions import SuppressionIndex
+
+#: Pseudo-rule id attached to files that fail to parse.  Not suppressible
+#: (a broken file can't carry a trustworthy suppression comment).
+PARSE_ERROR = "E000"
+
+
+@dataclass
+class Project:
+    """Everything the project-wide rules see: all parsed files, in order."""
+
+    contexts: List[FileContext] = field(default_factory=list)
+
+    def find_module(self, rel: str) -> Optional[FileContext]:
+        """The context whose package-relative path matches, if scanned."""
+        for ctx in self.contexts:
+            if ctx.is_module(rel):
+                return ctx
+        return None
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run."""
+
+    diagnostics: List[Diagnostic]
+    files_checked: int
+    suppressed: int
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.diagnostics else 0
+
+
+def _collect_files(paths: Sequence[Path]) -> List[Path]:
+    files: List[Path] = []
+    seen = set()
+    for path in paths:
+        if path.is_dir():
+            candidates: Iterable[Path] = sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            candidates = [path]
+        else:
+            candidates = []
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                files.append(candidate)
+    return files
+
+
+def _module_parts(path: Path, root: Path) -> Tuple[str, ...]:
+    parts = path.resolve().parts
+    if "repro" in parts:
+        index = len(parts) - 1 - tuple(reversed(parts)).index("repro")
+        return parts[index:]
+    try:
+        return path.resolve().relative_to(root.resolve()).parts
+    except ValueError:
+        return (path.name,)
+
+
+def _display_path(path: Path) -> str:
+    try:
+        return path.resolve().relative_to(Path.cwd()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def _parse(path: Path, root: Path) -> Tuple[Optional[FileContext], Optional[Diagnostic]]:
+    display = _display_path(path)
+    try:
+        source = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as exc:
+        return None, Diagnostic(display, 1, 0, PARSE_ERROR, f"unreadable file: {exc}")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return None, Diagnostic(
+            display, exc.lineno or 1, exc.offset or 0, PARSE_ERROR,
+            f"syntax error: {exc.msg}",
+        )
+    ctx = FileContext(
+        path=path,
+        display_path=display,
+        source=source,
+        tree=tree,
+        suppressions=SuppressionIndex.from_source(source),
+        module=_module_parts(path, root),
+    )
+    return ctx, None
+
+
+def lint_paths(
+    paths: Sequence[PathInput],
+    rule_ids: Optional[Sequence[str]] = None,
+    root: Optional[PathInput] = None,
+) -> LintResult:
+    """Lint files/directories and return sorted, suppression-filtered findings.
+
+    Parameters
+    ----------
+    paths:
+        Files or directories (recursed for ``*.py``).
+    rule_ids:
+        Optional subset of rule ids to run (default: all registered).
+    root:
+        Base used to classify files that do not live under a ``repro``
+        package directory; defaults to the current working directory.
+    """
+    base = Path(root) if root is not None else Path.cwd()
+    rules: List[Rule]
+    if rule_ids is None:
+        rules = all_rules()
+    else:
+        rules = [get_rule(rule_id) for rule_id in rule_ids]
+
+    project = Project()
+    raw: List[Diagnostic] = []
+    files = _collect_files([Path(p) for p in paths])
+    for path in files:
+        ctx, error = _parse(path, base)
+        if error is not None:
+            raw.append(error)
+        if ctx is not None:
+            project.contexts.append(ctx)
+
+    for ctx in project.contexts:
+        for rule in rules:
+            raw.extend(rule.check_file(ctx))
+    for rule in rules:
+        raw.extend(rule.check_project(project))
+
+    by_display = {ctx.display_path: ctx for ctx in project.contexts}
+    kept: List[Diagnostic] = []
+    suppressed = 0
+    for diag in raw:
+        ctx = by_display.get(diag.path)
+        if (
+            ctx is not None
+            and diag.rule_id != PARSE_ERROR
+            and ctx.suppressions.is_suppressed(diag.rule_id, diag.line)
+        ):
+            suppressed += 1
+            continue
+        kept.append(diag)
+    kept.sort()
+    return LintResult(
+        diagnostics=kept, files_checked=len(files), suppressed=suppressed
+    )

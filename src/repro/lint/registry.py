@@ -1,0 +1,38 @@
+"""Rule registry: rules self-register via the :func:`register` decorator."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type, TypeVar
+
+from repro.lint.rules_base import Rule
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+R = TypeVar("R", bound=Type[Rule])
+
+
+def register(cls: R) -> R:
+    """Class decorator adding a rule to the global registry."""
+    if not cls.rule_id:
+        raise ValueError(f"rule {cls.__name__} must set rule_id")
+    if cls.rule_id in _REGISTRY and _REGISTRY[cls.rule_id] is not cls:
+        raise ValueError(f"duplicate rule id {cls.rule_id}")
+    _REGISTRY[cls.rule_id] = cls
+    return cls
+
+
+def _load_builtin_rules() -> None:
+    # Importing the package triggers every rule module's register() call.
+    import repro.lint.rules  # noqa: F401
+
+
+def all_rules() -> List[Rule]:
+    """Fresh instances of every registered rule, sorted by id."""
+    _load_builtin_rules()
+    return [_REGISTRY[rule_id]() for rule_id in sorted(_REGISTRY)]
+
+
+def get_rule(rule_id: str) -> Rule:
+    """Instantiate one rule by id (raises ``KeyError`` if unknown)."""
+    _load_builtin_rules()
+    return _REGISTRY[rule_id]()

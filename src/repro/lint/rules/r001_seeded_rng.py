@@ -1,0 +1,117 @@
+"""R001 — all randomness must flow through ``repro.sim.rng``.
+
+Two golden-trajectory guarantees depend on this: multi-seed sweeps are
+reproducible bit-for-bit, and the delta/objective equivalence suite can
+replay identical move streams.  Any RNG constructed outside
+``repro/sim/rng.py`` — the stdlib ``random`` module, or direct
+``numpy.random`` entry points — creates a stream the seed plumbing
+cannot see.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Set, Tuple
+
+from repro.lint.astutil import dotted_name
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.registry import register
+from repro.lint.rules_base import FileContext, Rule
+
+#: The one module allowed to talk to numpy's RNG machinery directly.
+EXEMPT_MODULE = "repro/sim/rng.py"
+
+#: ``numpy.random`` attributes that are bit-generator *classes*; wiring
+#: one into a seeded ``Generator`` is exactly what ``rng.py`` exists to
+#: do, so constructing them is not itself a finding.
+_GENERATOR_CLASSES = {
+    "Generator",
+    "SeedSequence",
+    "BitGenerator",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "MT19937",
+    "SFC64",
+}
+
+
+def _module_aliases(tree: ast.Module) -> Tuple[Set[str], Set[str], Set[str]]:
+    """Names bound to the ``random`` module, numpy, and ``random`` functions."""
+    random_mods: Set[str] = set()
+    numpy_mods: Set[str] = set()
+    random_funcs: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "random":
+                    random_mods.add(alias.asname or "random")
+                elif alias.name == "numpy":
+                    numpy_mods.add(alias.asname or "numpy")
+                elif alias.name == "numpy.random" and alias.asname:
+                    # ``import numpy.random as npr`` binds the submodule.
+                    random_mods.add(alias.asname)
+        elif isinstance(node, ast.ImportFrom) and node.level == 0:
+            if node.module == "random":
+                for alias in node.names:
+                    random_funcs.add(alias.asname or alias.name)
+            elif node.module == "numpy":
+                for alias in node.names:
+                    if alias.name == "random":
+                        random_mods.add(alias.asname or "random")
+    return random_mods, numpy_mods, random_funcs
+
+
+@register
+class SeededRngRule(Rule):
+    rule_id = "R001"
+    title = "randomness must route through repro.sim.rng"
+    rationale = (
+        "RNG streams created outside repro/sim/rng.py escape the seed "
+        "plumbing and silently break multi-seed reproducibility; use "
+        "make_rng()/child_rng() and pass Generator objects down."
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        if ctx.is_module(EXEMPT_MODULE):
+            return
+        random_mods, numpy_mods, random_funcs = _module_aliases(ctx.tree)
+        for call in self._walk_calls(ctx.tree):
+            name = dotted_name(call.func)
+            if name is None:
+                continue
+            finding = self._classify(name, random_mods, numpy_mods, random_funcs)
+            if finding is not None:
+                yield ctx.diagnostic(self.rule_id, call, finding)
+
+    def _classify(
+        self,
+        name: Tuple[str, ...],
+        random_mods: Set[str],
+        numpy_mods: Set[str],
+        random_funcs: Set[str],
+    ) -> Optional[str]:
+        dotted = ".".join(name)
+        if name[0] in random_funcs and len(name) == 1:
+            return (
+                f"stdlib random function '{dotted}()' bypasses the seeded "
+                "stream registry; use repro.sim.rng.make_rng()"
+            )
+        if len(name) >= 2 and name[0] in random_mods:
+            attr = name[1]
+            if attr in _GENERATOR_CLASSES:
+                return None
+            return (
+                f"'{dotted}()' constructs an RNG stream outside "
+                "repro/sim/rng.py; use make_rng()/child_rng() instead"
+            )
+        # ``np.random.default_rng()`` / ``numpy.random.shuffle`` ...
+        if len(name) >= 3 and name[0] in numpy_mods and name[1] == "random":
+            attr = name[2]
+            if attr in _GENERATOR_CLASSES:
+                return None
+            return (
+                f"'{dotted}()' constructs an RNG stream outside "
+                "repro/sim/rng.py; use make_rng()/child_rng() instead"
+            )
+        return None

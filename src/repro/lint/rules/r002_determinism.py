@@ -1,0 +1,146 @@
+"""R002 — determinism hazards in the hot algorithmic packages.
+
+``repro/core`` and ``repro/net`` carry a bitwise-equality contract: the
+DeltaEvaluator must reproduce the ObjectiveEvaluator's trajectories
+bit-for-bit, and golden trajectories are pinned across machines.  Three
+constructs break that quietly:
+
+* iterating a ``set`` — Python sets hash-order their elements, and the
+  order varies with insertion history and ``PYTHONHASHSEED``; any
+  float accumulation driven by such a loop is run-order dependent.
+  Wrap the iterable in ``sorted(...)``.
+* wall-clock reads (``time.time``, ``datetime.now``, ...) feeding
+  algorithm state.  ``time.perf_counter`` is exempt: the codebase uses
+  it for telemetry only, never for decisions.
+* environment reads (``os.environ``, ``os.getenv``) — hidden inputs
+  that do not appear in ``SimulationConfig`` or the result provenance.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from repro.lint.astutil import dotted_name
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.registry import register
+from repro.lint.rules_base import FileContext, Rule
+
+_WALL_CLOCK = {
+    ("time", "time"),
+    ("time", "time_ns"),
+    ("datetime", "datetime", "now"),
+    ("datetime", "datetime", "utcnow"),
+    ("datetime", "datetime", "today"),
+    ("datetime", "date", "today"),
+    ("datetime", "now"),
+    ("datetime", "utcnow"),
+    ("date", "today"),
+}
+
+
+def _is_set_expr(node: ast.expr) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        name = dotted_name(node.func)
+        return name == ("set",) or name == ("frozenset",)
+    return False
+
+
+def _set_names(scope: ast.AST) -> Set[str]:
+    """Names assigned a set literal/call/comprehension inside ``scope``."""
+    names: Set[str] = set()
+    for node in ast.walk(scope):
+        if isinstance(node, ast.Assign) and _is_set_expr(node.value):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            if _is_set_expr(node.value) and isinstance(node.target, ast.Name):
+                names.add(node.target.id)
+    return names
+
+
+def _scopes(tree: ast.Module) -> Iterator[ast.AST]:
+    yield tree
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+@register
+class DeterminismRule(Rule):
+    rule_id = "R002"
+    title = "no determinism hazards in core/ and net/"
+    rationale = (
+        "Hash-ordered set iteration, wall-clock reads and environment "
+        "lookups make trajectories machine-dependent, violating the "
+        "bitwise delta/objective equivalence contract; sort iterables "
+        "and thread explicit config instead."
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        if not ctx.in_subpackage("core", "net"):
+            return
+        yield from self._check_set_iteration(ctx)
+        yield from self._check_wall_clock(ctx)
+        yield from self._check_environ(ctx)
+
+    def _check_set_iteration(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        seen: Set[int] = set()
+        for scope in _scopes(ctx.tree):
+            local_sets = _set_names(scope)
+            for node in ast.walk(scope):
+                if not isinstance(node, (ast.For, ast.comprehension)):
+                    continue
+                if id(node) in seen:
+                    continue
+                target = node.iter
+                hazardous = _is_set_expr(target) or (
+                    isinstance(target, ast.Name) and target.id in local_sets
+                )
+                if hazardous:
+                    seen.add(id(node))
+                    anchor = node if isinstance(node, ast.For) else target
+                    yield ctx.diagnostic(
+                        self.rule_id,
+                        anchor,
+                        "iteration over a set is hash-ordered and varies "
+                        "across runs; wrap the iterable in sorted(...)",
+                    )
+
+    def _check_wall_clock(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        for call in self._walk_calls(ctx.tree):
+            name = dotted_name(call.func)
+            if name is None:
+                continue
+            if name in _WALL_CLOCK:
+                yield ctx.diagnostic(
+                    self.rule_id,
+                    call,
+                    f"wall-clock call '{'.'.join(name)}()' injects "
+                    "machine-local time into algorithm code; only "
+                    "time.perf_counter() telemetry is allowed here",
+                )
+
+    def _check_environ(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Attribute) and node.attr == "environ":
+                base = dotted_name(node.value)
+                if base == ("os",):
+                    yield ctx.diagnostic(
+                        self.rule_id,
+                        node,
+                        "os.environ read in algorithm code is a hidden "
+                        "input; thread it through SimulationConfig",
+                    )
+            elif isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                if name == ("os", "getenv"):
+                    yield ctx.diagnostic(
+                        self.rule_id,
+                        node,
+                        "os.getenv read in algorithm code is a hidden "
+                        "input; thread it through SimulationConfig",
+                    )

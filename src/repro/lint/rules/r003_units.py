@@ -1,0 +1,120 @@
+"""R003 — telecom unit conversions belong in ``repro/units.py``.
+
+The paper mixes dB/dBm link budgets, kilobyte task sizes, megacycle
+workloads and GHz CPU frequencies.  Every silent re-derivation of a
+conversion factor (``10 ** (x / 10)``, ``8 * 1024``, ``* 1e6``,
+``* 1e9``) is a chance to disagree with the checked, tested helpers —
+the classic source of order-of-magnitude reproduction bugs.  This rule
+flags the factors themselves so all conversions route through
+``dbm_to_watts`` / ``db_to_linear`` / ``kb_to_bits`` /
+``megacycles_to_cycles`` / ``ghz_to_hz`` / ``mhz_to_hz``.
+
+``repro/units.py`` (the sanctioned definitions) and ``repro/lint``
+(which must mention the factors to detect them) are exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.registry import register
+from repro.lint.rules_base import FileContext, Rule
+
+_DB_BASE = (10, 10.0)
+_DB_DIVISOR = (10, 10.0)
+_KB_FACTOR = (8192, 8192.0)
+_MEGA = 1e6
+_GIGA = 1e9
+
+
+def _const_value(node: ast.expr) -> Optional[float]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, (int, float)):
+        if isinstance(node.value, bool):
+            return None
+        return float(node.value)
+    return None
+
+
+def _is_db_power(node: ast.BinOp) -> bool:
+    """``10 ** (x / 10)`` — the dB-to-linear idiom in any spelling."""
+    if not isinstance(node.op, ast.Pow):
+        return False
+    base = _const_value(node.left)
+    if base is None or base not in _DB_BASE:
+        return False
+    exponent = node.right
+    if isinstance(exponent, ast.BinOp) and isinstance(exponent.op, ast.Div):
+        divisor = _const_value(exponent.right)
+        return divisor is not None and divisor in _DB_DIVISOR
+    return False
+
+
+def _is_kb_product(node: ast.BinOp) -> bool:
+    """``8 * 1024`` in either order."""
+    if not isinstance(node.op, ast.Mult):
+        return False
+    left, right = _const_value(node.left), _const_value(node.right)
+    return {left, right} == {8.0, 1024.0}
+
+
+@register
+class UnitsRule(Rule):
+    rule_id = "R003"
+    title = "unit-conversion factors must come from repro.units"
+    rationale = (
+        "Inline dB/kB/mega/giga conversion factors drift from the "
+        "tested helpers in repro/units.py and cause order-of-magnitude "
+        "reproduction errors; call the named helper instead."
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        if ctx.is_module("repro/units.py") or ctx.in_subpackage("lint"):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.BinOp):
+                if _is_db_power(node):
+                    yield ctx.diagnostic(
+                        self.rule_id,
+                        node,
+                        "inline dB-to-linear conversion '10 ** (x / 10)'; "
+                        "use repro.units.db_to_linear() or dbm_to_watts()",
+                    )
+                elif _is_kb_product(node):
+                    yield ctx.diagnostic(
+                        self.rule_id,
+                        node,
+                        "inline kilobyte factor '8 * 1024'; use "
+                        "repro.units.kb_to_bits() or BITS_PER_KB",
+                    )
+                elif isinstance(node.op, (ast.Mult, ast.Div)):
+                    yield from self._scale_factor(ctx, node)
+            elif isinstance(node, ast.Constant):
+                value = _const_value(node)
+                if value is not None and value in _KB_FACTOR:
+                    yield ctx.diagnostic(
+                        self.rule_id,
+                        node,
+                        "magic constant 8192 (bits per kB); use "
+                        "repro.units.kb_to_bits() or BITS_PER_KB",
+                    )
+
+    def _scale_factor(
+        self, ctx: FileContext, node: ast.BinOp
+    ) -> Iterator[Diagnostic]:
+        for operand in (node.left, node.right):
+            value = _const_value(operand)
+            if value == _MEGA:
+                yield ctx.diagnostic(
+                    self.rule_id,
+                    operand,
+                    "magic scale factor 1e6; use repro.units."
+                    "megacycles_to_cycles() or mhz_to_hz()",
+                )
+            elif value == _GIGA:
+                yield ctx.diagnostic(
+                    self.rule_id,
+                    operand,
+                    "magic scale factor 1e9; use repro.units.ghz_to_hz()",
+                )

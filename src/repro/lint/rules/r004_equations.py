@@ -1,0 +1,87 @@
+"""R004 — paper traceability for the model math in ``core/`` and ``net/``.
+
+Every equation reference written in a docstring must name an equation
+the paper actually defines (validated against the checked-in registry in
+:mod:`repro.lint.equations`), and the functions that *implement* model
+math must say which equation they implement.  The second half is a
+project-wide contract: :data:`~repro.lint.equations.REQUIRED_CITATIONS`
+maps modules to the functions that must cite, so a refactor that drops a
+docstring — or renames a function out from under its citation — fails
+the lint run instead of silently orphaning the paper mapping.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.astutil import iter_docstrings, qualified_functions
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.equations import (
+    KNOWN_CITATIONS,
+    REQUIRED_CITATIONS,
+    parse_citations,
+)
+from repro.lint.registry import register
+from repro.lint.rules_base import FileContext, Rule
+
+if False:  # pragma: no cover - typing only, avoids a runtime cycle
+    from repro.lint.engine import Project
+
+
+@register
+class EquationTraceabilityRule(Rule):
+    rule_id = "R004"
+    title = "docstring citations must match the paper-equation registry"
+    rationale = (
+        "Citing an equation the paper does not define, or shipping model "
+        "math without its Eq./Algorithm reference, breaks the audited "
+        "code-to-paper mapping the reproduction is graded on."
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        if not ctx.in_subpackage("core", "net"):
+            return
+        for node, doc, line in iter_docstrings(ctx.tree):
+            if not doc:
+                continue
+            for citation in parse_citations(doc):
+                if citation not in KNOWN_CITATIONS:
+                    yield ctx.diagnostic_at(
+                        self.rule_id,
+                        line,
+                        f"docstring cites '{citation}', which is not in "
+                        "the paper-equation registry "
+                        "(repro/lint/equations.py)",
+                    )
+
+    def check_project(self, project: "Project") -> Iterator[Diagnostic]:
+        for module_rel, required in sorted(REQUIRED_CITATIONS.items()):
+            ctx = project.find_module(module_rel)
+            if ctx is None:
+                # Module not part of this lint invocation; the meta-test
+                # lints all of src/, which covers the full registry.
+                continue
+            functions = dict(qualified_functions(ctx.tree))
+            for qualname, citations in sorted(required.items()):
+                node = functions.get(qualname)
+                if node is None:
+                    yield ctx.diagnostic_at(
+                        self.rule_id,
+                        1,
+                        f"registered function '{qualname}' is missing; "
+                        "update REQUIRED_CITATIONS in "
+                        "repro/lint/equations.py if it was renamed",
+                    )
+                    continue
+                doc = ast.get_docstring(node, clean=False) or ""
+                present = set(parse_citations(doc))
+                for citation in citations:
+                    if citation not in present:
+                        yield ctx.diagnostic(
+                            self.rule_id,
+                            node,
+                            f"'{qualname}' implements "
+                            f"{KNOWN_CITATIONS[citation]} but its "
+                            f"docstring does not cite '{citation}'",
+                        )

@@ -1,0 +1,171 @@
+"""R006 — every ``SimulationConfig`` field must be consumed and documented.
+
+A config field nobody reads is worse than dead code: experiments sweep
+it, papers report it, and it silently changes nothing.  This project
+rule parses the dataclass fields out of ``repro/sim/config.py``, then
+requires each field to be
+
+* **consumed** — read as an attribute somewhere in the scanned tree
+  (outside ``config.py``'s own plumbing, and not via bare ``self.X``,
+  which would let an unrelated same-named attribute mask the drift).
+  The config class's derived accessors count as aliases: if downstream
+  code reads ``config.tx_power_watts``, the ``tx_power_dbm`` field that
+  property converts is consumed through it — resolved transitively, so
+  an accessor chain nobody reads still flags its underlying fields; and
+* **documented** — mentioned in ``docs/api.md`` next to the repo root.
+
+Diagnostics anchor at the field's declaration line in ``config.py``.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Dict, Iterator, Optional, Set
+
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.registry import register
+from repro.lint.rules_base import FileContext, Rule
+
+if False:  # pragma: no cover - typing only, avoids a runtime cycle
+    from repro.lint.engine import Project
+
+CONFIG_MODULE = "repro/sim/config.py"
+CONFIG_CLASS = "SimulationConfig"
+
+#: Methods on the config class itself whose reads are plumbing, not
+#: consumption (validation and copying touch every field by design).
+_PLUMBING_METHODS = {"__post_init__", "replace", "validate"}
+
+
+def _config_fields(tree: ast.Module) -> Dict[str, int]:
+    """Field name -> declaration line for the config dataclass."""
+    fields: Dict[str, int] = {}
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef) and node.name == CONFIG_CLASS:
+            for item in node.body:
+                if isinstance(item, ast.AnnAssign) and isinstance(
+                    item.target, ast.Name
+                ):
+                    fields[item.target.id] = item.lineno
+    return fields
+
+
+def _attribute_reads(ctx: FileContext, skip_plumbing: bool) -> Set[str]:
+    """Attribute names read in this file, minus bare ``self.X`` access."""
+    skip_nodes: Set[int] = set()
+    if skip_plumbing:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.FunctionDef) and (
+                node.name in _PLUMBING_METHODS
+            ):
+                for child in ast.walk(node):
+                    skip_nodes.add(id(child))
+    reads: Set[str] = set()
+    for node in ast.walk(ctx.tree):
+        if id(node) in skip_nodes:
+            continue
+        if isinstance(node, ast.Attribute):
+            if isinstance(node.value, ast.Name) and node.value.id == "self":
+                continue
+            reads.add(node.attr)
+    return reads
+
+
+def _member_self_reads(tree: ast.Module) -> Dict[str, Set[str]]:
+    """Config-class member name -> ``self.X`` attribute names it reads.
+
+    These are the derived-accessor aliases (``tx_power_watts`` reads
+    ``self.tx_power_dbm``); plumbing methods are excluded.
+    """
+    members: Dict[str, Set[str]] = {}
+    for node in tree.body:
+        if not (isinstance(node, ast.ClassDef) and node.name == CONFIG_CLASS):
+            continue
+        for item in node.body:
+            if not isinstance(item, ast.FunctionDef):
+                continue
+            if item.name in _PLUMBING_METHODS:
+                continue
+            reads: Set[str] = set()
+            for child in ast.walk(item):
+                if (
+                    isinstance(child, ast.Attribute)
+                    and isinstance(child.value, ast.Name)
+                    and child.value.id == "self"
+                ):
+                    reads.add(child.attr)
+            members[item.name] = reads
+    return members
+
+
+def _close_over_aliases(
+    consumed: Set[str], members: Dict[str, Set[str]]
+) -> Set[str]:
+    """Fixpoint: reads made by a consumed accessor are themselves consumed."""
+    closed = set(consumed)
+    changed = True
+    while changed:
+        changed = False
+        for name, reads in members.items():
+            if name in closed and not reads <= closed:
+                closed |= reads
+                changed = True
+    return closed
+
+
+def _find_docs(config_path: Path) -> Optional[Path]:
+    for parent in config_path.resolve().parents:
+        candidate = parent / "docs" / "api.md"
+        if candidate.is_file():
+            return candidate
+    return None
+
+
+@register
+class ConfigDriftRule(Rule):
+    rule_id = "R006"
+    title = "SimulationConfig fields must be consumed and documented"
+    rationale = (
+        "An unread or undocumented config field silently no-ops every "
+        "experiment that sweeps it; wire the field into the simulation "
+        "and document it in docs/api.md, or delete it."
+    )
+
+    def check_project(self, project: "Project") -> Iterator[Diagnostic]:
+        config_ctx = project.find_module(CONFIG_MODULE)
+        if config_ctx is None:
+            return
+        fields = _config_fields(config_ctx.tree)
+        if not fields:
+            return
+
+        consumed: Set[str] = set()
+        for ctx in project.contexts:
+            consumed |= _attribute_reads(
+                ctx, skip_plumbing=ctx is config_ctx
+            )
+        consumed = _close_over_aliases(
+            consumed, _member_self_reads(config_ctx.tree)
+        )
+
+        docs_path = _find_docs(config_ctx.path)
+        docs_text = (
+            docs_path.read_text(encoding="utf-8") if docs_path else ""
+        )
+
+        for name, line in sorted(fields.items()):
+            if name not in consumed:
+                yield config_ctx.diagnostic_at(
+                    self.rule_id,
+                    line,
+                    f"config field '{name}' is never read outside "
+                    "config plumbing; wire it in or delete it",
+                )
+            if docs_path is not None and name not in docs_text:
+                yield config_ctx.diagnostic_at(
+                    self.rule_id,
+                    line,
+                    f"config field '{name}' is not documented in "
+                    f"{docs_path.name} (docs/api.md)",
+                )

@@ -1,0 +1,58 @@
+"""Per-rule suppression comments: ``# repro-lint: disable=R001[,R002]``.
+
+A suppression comment at the end of a code line silences the named rules
+on that line.  A comment that *is* the whole line silences them on the
+comment line and on the next line, so block-unfriendly statements can be
+annotated from above::
+
+    # repro-lint: disable=R003 — display-only scaling, not a unit conversion
+    mbps = rate / 1e6
+
+Suppressions are rule-scoped on purpose: there is no blanket "disable
+everything here" form, so every silenced finding names what it silences.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from typing import Dict, FrozenSet, Set
+
+_DIRECTIVE = re.compile(r"repro-lint:\s*disable=([A-Z]\d+(?:\s*,\s*[A-Z]\d+)*)")
+
+
+class SuppressionIndex:
+    """Maps line numbers to the set of rule ids suppressed there."""
+
+    def __init__(self, by_line: Dict[int, Set[str]]) -> None:
+        self._by_line = {line: frozenset(rules) for line, rules in by_line.items()}
+
+    @classmethod
+    def from_source(cls, source: str) -> "SuppressionIndex":
+        """Scan comment tokens; never raises (a token error yields no-ops)."""
+        by_line: Dict[int, Set[str]] = {}
+        try:
+            tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+        except (tokenize.TokenError, IndentationError, SyntaxError):
+            return cls(by_line)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _DIRECTIVE.search(token.string)
+            if match is None:
+                continue
+            rules = {part.strip() for part in match.group(1).split(",")}
+            line, col = token.start
+            by_line.setdefault(line, set()).update(rules)
+            standalone = source.splitlines()[line - 1][:col].strip() == ""
+            if standalone:
+                by_line.setdefault(line + 1, set()).update(rules)
+        return cls(by_line)
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        rules: FrozenSet[str] = self._by_line.get(line, frozenset())
+        return rule_id in rules
+
+    def __len__(self) -> int:
+        return len(self._by_line)

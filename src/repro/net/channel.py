@@ -16,6 +16,7 @@ import numpy as np
 from repro.errors import ConfigurationError
 from repro.net.pathloss import LogNormalShadowing, UrbanMacroPathLoss
 from repro.net.topology import Topology
+from repro.units import db_to_linear
 
 
 @dataclass(frozen=True)
@@ -74,5 +75,5 @@ class ChannelModel:
         tensor = np.repeat(link[:, :, None], n_subbands, axis=2)
         if self.per_band_sigma_db > 0.0:
             jitter_db = rng.normal(0.0, self.per_band_sigma_db, size=tensor.shape)
-            tensor = tensor * 10.0 ** (jitter_db / 10.0)
+            tensor = tensor * db_to_linear(jitter_db)
         return tensor

@@ -21,6 +21,7 @@ tensor, so the *average* channel matches what the scheduler saw.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Protocol, Tuple
 
 import numpy as np
 
@@ -31,11 +32,23 @@ if TYPE_CHECKING:  # pragma: no cover - type-only import
     from repro.sim.scenario import Scenario
 
 
+class FadingModel(Protocol):
+    """Anything that can draw unit-mean multiplicative power factors."""
+
+    def sample_factors(
+        self, shape: Tuple[int, ...], rng: np.random.Generator
+    ) -> np.ndarray:
+        """Multiplicative power-gain factors of the requested shape."""
+        ...
+
+
 @dataclass(frozen=True)
 class RayleighFading:
     """Unit-mean exponential power fading (no line of sight)."""
 
-    def sample_factors(self, shape: tuple, rng: np.random.Generator) -> np.ndarray:
+    def sample_factors(
+        self, shape: Tuple[int, ...], rng: np.random.Generator
+    ) -> np.ndarray:
         """Multiplicative power-gain factors, i.i.d. Exp(1)."""
         return rng.exponential(scale=1.0, size=shape)
 
@@ -56,7 +69,9 @@ class RicianFading:
                 f"K-factor must be non-negative, got {self.k_factor}"
             )
 
-    def sample_factors(self, shape: tuple, rng: np.random.Generator) -> np.ndarray:
+    def sample_factors(
+        self, shape: Tuple[int, ...], rng: np.random.Generator
+    ) -> np.ndarray:
         """Multiplicative power-gain factors with unit mean."""
         k = self.k_factor
         los = np.sqrt(k / (k + 1.0))
@@ -68,7 +83,7 @@ class RicianFading:
 
 def faded_scenario(
     scenario: "Scenario",
-    fading,
+    fading: FadingModel,
     rng: np.random.Generator,
     per_subband: bool = True,
 ) -> "Scenario":

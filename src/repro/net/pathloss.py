@@ -10,10 +10,12 @@ hJTORA (Tran & Pompili, ref. [37]).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Tuple
 
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.units import db_to_linear
 
 
 @dataclass(frozen=True)
@@ -37,7 +39,7 @@ class UrbanMacroPathLoss:
 
     def gain_linear(self, distance_km: np.ndarray) -> np.ndarray:
         """Linear channel power gain (``10^(-L/10)``) for distances in km."""
-        return 10.0 ** (-self.loss_db(distance_km) / 10.0)
+        return db_to_linear(-self.loss_db(distance_km))
 
 
 @dataclass(frozen=True)
@@ -57,12 +59,16 @@ class LogNormalShadowing:
                 f"shadowing sigma must be non-negative, got {self.sigma_db}"
             )
 
-    def sample_db(self, shape: tuple, rng: np.random.Generator) -> np.ndarray:
+    def sample_db(
+        self, shape: Tuple[int, ...], rng: np.random.Generator
+    ) -> np.ndarray:
         """Draw shadowing values in dB of the requested shape."""
         if self.sigma_db == 0.0:
             return np.zeros(shape)
         return rng.normal(loc=0.0, scale=self.sigma_db, size=shape)
 
-    def sample_linear(self, shape: tuple, rng: np.random.Generator) -> np.ndarray:
+    def sample_linear(
+        self, shape: Tuple[int, ...], rng: np.random.Generator
+    ) -> np.ndarray:
         """Draw multiplicative (linear) shadowing factors."""
-        return 10.0 ** (self.sample_db(shape, rng) / 10.0)
+        return db_to_linear(self.sample_db(shape, rng))

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import List, Sequence
+from typing import List, Sequence, Tuple
 
 import numpy as np
 
@@ -35,7 +35,7 @@ def _axial_to_cartesian(q: int, r: int, spacing: float) -> np.ndarray:
     return np.array([x, y], dtype=float)
 
 
-def _spiral_axial_coords(count: int) -> List[tuple]:
+def _spiral_axial_coords(count: int) -> List[Tuple[int, int]]:
     """Return ``count`` axial coordinates spiralling out from the origin.
 
     The spiral enumerates the center cell, then ring 1 (6 cells), ring 2

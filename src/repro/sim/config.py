@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
+from typing import Any
 
 from repro.errors import ConfigurationError
 from repro.units import dbm_to_watts, ghz_to_hz, kb_to_bits, megacycles_to_cycles, mhz_to_hz
@@ -145,14 +146,14 @@ class SimulationConfig:
     def beta_energy(self) -> float:
         return 1.0 - self.beta_time
 
-    def replace(self, **changes) -> "SimulationConfig":
+    def replace(self, **changes: Any) -> "SimulationConfig":
         """A copy of this config with the given fields replaced."""
         return dataclasses.replace(self, **changes)
 
 
 #: The confined small-network setting of Fig. 3 where exhaustive search is
 #: tractable: U = 6 users, S = 4 cells, N = 2 sub-bands.
-def small_network_config(**overrides) -> SimulationConfig:
+def small_network_config(**overrides: Any) -> SimulationConfig:
     """The Fig. 3 small-network configuration (exhaustive-search scale)."""
     base = dict(n_users=6, n_servers=4, n_subbands=2)
     base.update(overrides)

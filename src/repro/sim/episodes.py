@@ -24,7 +24,7 @@ and per-slot metrics are aggregated across the episode.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import List, Tuple
 
 import numpy as np
 
@@ -34,6 +34,7 @@ from repro.net.channel import ChannelModel
 from repro.net.ofdma import OfdmaGrid
 from repro.net.pathloss import LogNormalShadowing, UrbanMacroPathLoss
 from repro.net.topology import Topology
+from repro.units import kb_to_bits, megacycles_to_cycles
 from repro.sim.config import SimulationConfig
 from repro.sim.metrics import SolutionMetrics, solution_metrics
 from repro.sim.rng import child_rng
@@ -77,8 +78,8 @@ class EpisodeConfig:
     pool_size: int = 30
     n_slots: int = 20
     activity_probability: float = 0.6
-    workload_range_megacycles: tuple = (500.0, 3000.0)
-    input_range_kb: tuple = (100.0, 800.0)
+    workload_range_megacycles: Tuple[float, float] = (500.0, 3000.0)
+    input_range_kb: Tuple[float, float] = (100.0, 800.0)
     reposition_probability: float = 0.05
     server_outage_probability: float = 0.0
 
@@ -125,7 +126,7 @@ class EpisodeResult:
         return [record.metrics.system_utility for record in self.slots]
 
     def offload_ratios(self) -> List[float]:
-        ratios = []
+        ratios: List[float] = []
         for record in self.slots:
             active = len(record.active_users)
             ratios.append(
@@ -215,15 +216,15 @@ class EpisodeRunner:
                 )
                 for server in range(base.n_servers)
             ]
-            users = []
+            users: List[UserDevice] = []
             for user in active:
                 workload_mc = slot_rng.uniform(*config.workload_range_megacycles)
                 input_kb = slot_rng.uniform(*config.input_range_kb)
                 users.append(
                     UserDevice(
                         task=Task(
-                            input_bits=input_kb * 8192.0,
-                            cycles=workload_mc * 1e6,
+                            input_bits=kb_to_bits(input_kb),
+                            cycles=megacycles_to_cycles(workload_mc),
                         ),
                         cpu_hz=base.user_cpu_hz,
                         tx_power_watts=base.tx_power_watts,

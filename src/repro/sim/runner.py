@@ -60,7 +60,7 @@ def _run_one_seed(
 ) -> List[SolutionMetrics]:
     """All schedulers on one seed's instance (the parallel work unit)."""
     scenario = Scenario.build(config, seed=seed)
-    metrics = []
+    metrics: List[SolutionMetrics] = []
     for index, scheduler in enumerate(schedulers):
         rng = child_rng(seed, 100 + index)
         outcome = scheduler.schedule(scenario, rng)

@@ -25,6 +25,7 @@ import numpy as np
 from repro.errors import ConfigurationError
 from repro.tasks.task import Task
 from repro.units import kb_to_bits, megacycles_to_cycles
+from repro.sim.rng import make_rng
 
 
 @dataclass(frozen=True)
@@ -59,7 +60,7 @@ class TaskProfile:
 
     def sample_task(self, rng: Optional[np.random.Generator] = None) -> Task:
         """Draw one task uniformly within the profile's spread."""
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = rng if rng is not None else make_rng()
         low, high = 1.0 - self.spread, 1.0 + self.spread
         return Task(
             input_bits=kb_to_bits(self.input_kb) * rng.uniform(low, high),
@@ -145,7 +146,7 @@ def mixed_profile_tasks(
     """
     if n_tasks < 0:
         raise ConfigurationError(f"n_tasks must be non-negative, got {n_tasks}")
-    rng = rng if rng is not None else np.random.default_rng()
+    rng = rng if rng is not None else make_rng()
     if weights is None:
         names = list_profiles()
         probabilities = np.full(len(names), 1.0 / len(names))

@@ -16,6 +16,7 @@ import numpy as np
 from repro.errors import ConfigurationError
 from repro.tasks.device import UserDevice
 from repro.tasks.task import Task
+from repro.sim.rng import make_rng
 
 
 @dataclass(frozen=True)
@@ -97,7 +98,7 @@ def heterogeneous_population(
     """Population with per-user parameters sampled from ``spec``."""
     if n_users < 0:
         raise ConfigurationError(f"n_users must be non-negative, got {n_users}")
-    rng = rng if rng is not None else np.random.default_rng()
+    rng = rng if rng is not None else make_rng()
     users = []
     for _ in range(n_users):
         beta_time = _sample(rng, spec.beta_time)

@@ -1,0 +1,205 @@
+"""Engine-level tests: suppressions, reporters, CLI entry points, and the
+meta-test asserting the shipped ``src/`` tree is lint-clean."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.lint import all_rules, get_rule, lint_paths
+from repro.lint.engine import PARSE_ERROR
+from repro.lint.reporters import render_json, render_text
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+
+
+def _write(root: Path, rel: str, source: str) -> Path:
+    path = root / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source, encoding="utf-8")
+    return path
+
+
+class TestRegistry:
+    def test_all_six_rules_registered(self):
+        ids = [rule.rule_id for rule in all_rules()]
+        assert ids == ["R001", "R002", "R003", "R004", "R005", "R006"]
+
+    def test_rules_carry_title_and_rationale(self):
+        for rule in all_rules():
+            assert rule.title
+            assert rule.rationale
+
+    def test_get_rule_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_rule("R999")
+
+
+class TestSuppressions:
+    SOURCE = (
+        "import random\n"
+        "a = random.random()  # repro-lint: disable=R001\n"
+        "b = random.random()\n"
+        "# repro-lint: disable=R001\n"
+        "c = random.random()\n"
+    )
+
+    def test_same_line_and_preceding_comment_suppress(self, tmp_path):
+        _write(tmp_path, "repro/core/x.py", self.SOURCE)
+        result = lint_paths([tmp_path], rule_ids=["R001"], root=tmp_path)
+        # Lines 2 and 5 suppressed; line 3 survives.
+        assert [d.line for d in result.diagnostics] == [3]
+        assert result.suppressed == 2
+
+    def test_multiple_ids_in_one_directive(self, tmp_path):
+        _write(
+            tmp_path,
+            "repro/core/x.py",
+            "import random\n"
+            "for x in {1}:  # repro-lint: disable=R001, R002\n"
+            "    y = random.random()  # repro-lint: disable=R001\n",
+        )
+        result = lint_paths([tmp_path], root=tmp_path)
+        assert result.diagnostics == []
+        assert result.suppressed == 2
+
+    def test_unrelated_rule_id_does_not_suppress(self, tmp_path):
+        _write(
+            tmp_path,
+            "repro/core/x.py",
+            "import random\n"
+            "a = random.random()  # repro-lint: disable=R005\n",
+        )
+        result = lint_paths([tmp_path], rule_ids=["R001"], root=tmp_path)
+        assert len(result.diagnostics) == 1
+
+    def test_parse_errors_are_not_suppressible(self, tmp_path):
+        _write(
+            tmp_path,
+            "repro/core/x.py",
+            "# repro-lint: disable=E000\n"
+            "def broken(:\n",
+        )
+        result = lint_paths([tmp_path], root=tmp_path)
+        assert len(result.diagnostics) == 1
+        assert result.diagnostics[0].rule_id == PARSE_ERROR
+
+
+class TestReporters:
+    def _result(self, tmp_path):
+        _write(
+            tmp_path,
+            "repro/core/x.py",
+            "total = sum([1.0])\n",
+        )
+        return lint_paths([tmp_path], rule_ids=["R005"], root=tmp_path)
+
+    def test_text_report_lines(self, tmp_path):
+        text = render_text(self._result(tmp_path))
+        lines = text.splitlines()
+        assert len(lines) == 2
+        assert "R005" in lines[0]
+        # path:line:col: prefix
+        assert lines[0].count(":") >= 3
+        assert "1 finding in 1 file(s) (0 suppressed)" == lines[1]
+
+    def test_json_report_schema(self, tmp_path):
+        payload = json.loads(render_json(self._result(tmp_path)))
+        assert set(payload) == {
+            "version", "files_checked", "suppressed", "findings"
+        }
+        assert payload["version"] == 1
+        assert payload["files_checked"] == 1
+        assert payload["suppressed"] == 0
+        (finding,) = payload["findings"]
+        assert set(finding) == {"rule", "path", "line", "col", "message"}
+        assert finding["rule"] == "R005"
+        assert finding["line"] == 1
+
+    def test_findings_are_sorted(self, tmp_path):
+        _write(tmp_path, "repro/core/b.py", "x = sum([1.0])\n")
+        _write(tmp_path, "repro/core/a.py", "import random\ny = random.random()\nz = sum([2.0])\n")
+        result = lint_paths([tmp_path], root=tmp_path)
+        keys = [(d.path, d.line, d.col, d.rule_id) for d in result.diagnostics]
+        assert keys == sorted(keys)
+
+
+class TestCli:
+    def test_module_entry_point_clean_tree(self, tmp_path):
+        _write(tmp_path, "repro/core/x.py", "VALUE = 1\n")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.lint", str(tmp_path)],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+            env={"PYTHONPATH": str(SRC), "PATH": "/usr/bin:/bin"},
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "0 findings" in proc.stdout
+
+    def test_module_entry_point_findings_exit_1(self, tmp_path):
+        _write(tmp_path, "repro/core/x.py", "total = sum([1.0])\n")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.lint", str(tmp_path)],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+            env={"PYTHONPATH": str(SRC), "PATH": "/usr/bin:/bin"},
+        )
+        assert proc.returncode == 1
+        assert "R005" in proc.stdout
+
+    def test_tsajs_lint_subcommand(self, tmp_path, capsys):
+        from repro.cli import main
+
+        _write(tmp_path, "repro/core/x.py", "total = sum([1.0])\n")
+        assert main(["lint", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "R005" in out
+
+    def test_tsajs_lint_json_format(self, tmp_path, capsys):
+        from repro.cli import main
+
+        _write(tmp_path, "repro/core/x.py", "VALUE = 1\n")
+        assert main(["lint", str(tmp_path), "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["findings"] == []
+
+    def test_list_rules(self, capsys):
+        from repro.lint.cli import main
+
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("R001", "R002", "R003", "R004", "R005", "R006"):
+            assert rule_id in out
+
+    def test_unknown_rule_exits_2(self, capsys):
+        from repro.lint.cli import main
+
+        assert main(["--rules", "R999", "src"]) == 2
+
+    def test_rule_subset_selection(self, tmp_path, capsys):
+        from repro.lint.cli import main
+
+        _write(tmp_path, "repro/core/x.py", "total = sum([1.0])\n")
+        assert main([str(tmp_path), "--rules", "R001"]) == 0
+
+
+class TestShippedTreeIsClean:
+    """The acceptance meta-test: zero findings on the repo's own src/."""
+
+    def test_src_tree_has_no_findings(self):
+        result = lint_paths([SRC], root=REPO_ROOT)
+        rendered = "\n".join(d.render() for d in result.diagnostics)
+        assert result.diagnostics == [], f"lint findings on src/:\n{rendered}"
+        assert result.files_checked > 80
+
+    def test_src_tree_uses_no_suppressions(self):
+        # The satellites fixed every violation outright; keep it that way.
+        result = lint_paths([SRC], root=REPO_ROOT)
+        assert result.suppressed == 0
