@@ -17,6 +17,10 @@ Sub-commands
 ``tsajs episode [--pool P --slots T --outage q ...]``
     Run the slot-based episodic simulation (activity, mobility churn,
     server-outage fault injection) and print the per-slot log.
+``tsajs faults [--outage q --band-outage q --churn q --policy P ...]``
+    Inject a seeded fault set into one scheduled instance and print how
+    the degradation policy (local fallback or restricted re-scheduling)
+    recovers: utility retention, fallback count, repair time.
 ``tsajs lint [PATHS ...] [--format text|json] [--rules R001,...]``
     Run the project's static-analysis rules (determinism, unit
     discipline, paper-equation traceability); exits 1 on findings.
@@ -74,6 +78,42 @@ def _build_parser() -> argparse.ArgumentParser:
             "(results are identical to --workers 1, just faster)"
         ),
     )
+    run_parser.add_argument(
+        "--journal",
+        metavar="FILE",
+        help=(
+            "checkpoint every completed (scheme, seed) cell to this "
+            "JSON-lines file as it is computed (crash-safe)"
+        ),
+    )
+    run_parser.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "load the --journal file and re-run only the missing cells; "
+            "results are byte-identical to an uninterrupted run"
+        ),
+    )
+    run_parser.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "retry crashed or hung seeds up to N times (exponential "
+            "backoff; failed seeds are recorded, not fatal)"
+        ),
+    )
+    run_parser.add_argument(
+        "--seed-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "treat a seed exceeding this wall-clock budget as hung and "
+            "retry it (parallel runs only)"
+        ),
+    )
 
     solve_parser = sub.add_parser("solve", help="solve one random instance")
     solve_parser.add_argument("--users", type=int, default=20)
@@ -128,6 +168,52 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="stop the annealer early (T_min = 1e-2)",
     )
+
+    faults_parser = sub.add_parser(
+        "faults", help="inject faults into one instance and degrade gracefully"
+    )
+    faults_parser.add_argument("--users", type=int, default=20)
+    faults_parser.add_argument("--servers", type=int, default=5)
+    faults_parser.add_argument("--subbands", type=int, default=3)
+    faults_parser.add_argument("--seed", type=int, default=0)
+    faults_parser.add_argument(
+        "--outage", type=float, default=0.2, help="per-server full-outage probability"
+    )
+    faults_parser.add_argument(
+        "--degraded",
+        type=float,
+        default=0.0,
+        help="per-server capacity-degradation probability",
+    )
+    faults_parser.add_argument(
+        "--degraded-capacity",
+        type=float,
+        default=0.25,
+        help="surviving capacity fraction of a degraded server",
+    )
+    faults_parser.add_argument(
+        "--band-outage",
+        type=float,
+        default=0.0,
+        help="per-(server, band) outage probability",
+    )
+    faults_parser.add_argument(
+        "--churn",
+        type=float,
+        default=0.0,
+        help="per-user task-withdrawal probability",
+    )
+    faults_parser.add_argument(
+        "--policy",
+        choices=["local_fallback", "reschedule", "both"],
+        default="both",
+        help="degradation policy to apply",
+    )
+    faults_parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="stop the annealer early (T_min = 1e-2)",
+    )
     return parser
 
 
@@ -144,11 +230,32 @@ def _cmd_run(
     out: Optional[str],
     json_out: Optional[str],
     workers: int = 1,
+    journal_path: Optional[str] = None,
+    resume: bool = False,
+    retries: Optional[int] = None,
+    seed_timeout: Optional[float] = None,
 ) -> int:
+    if resume and journal_path is None:
+        print("error: --resume requires --journal FILE", file=sys.stderr)
+        return 2
     if workers != 1:
         from repro.sim.runner import set_default_n_workers
 
         set_default_n_workers(workers)
+    if journal_path is not None:
+        from repro.experiments.persistence import SweepJournal
+        from repro.sim.runner import set_default_journal
+
+        set_default_journal(SweepJournal(journal_path, resume=resume))
+    if retries is not None or seed_timeout is not None:
+        from repro.sim.runner import RetryPolicy, set_default_retry
+
+        set_default_retry(
+            RetryPolicy(
+                max_attempts=retries if retries is not None else 3,
+                seed_timeout_s=seed_timeout,
+            )
+        )
     spec = get_experiment(experiment_id)
     output = spec.run_quick() if quick else spec.run_full()
     text = render_text(output)
@@ -240,6 +347,68 @@ def _cmd_episode(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_faults(args: argparse.Namespace) -> int:
+    from repro.core.annealing import AnnealingSchedule
+    from repro.core.degradation import DEGRADATION_POLICIES, degrade
+    from repro.core.scheduler import TsajsScheduler
+    from repro.faults import FaultConfig, apply_faults, draw_faults_for_seed
+
+    config = SimulationConfig(
+        n_users=args.users, n_servers=args.servers, n_subbands=args.subbands
+    )
+    scenario = Scenario.build(config, seed=args.seed)
+    schedule = (
+        AnnealingSchedule(min_temperature=1e-2) if args.quick else AnnealingSchedule()
+    )
+    planner = TsajsScheduler(schedule=schedule)
+    plan = planner.schedule(scenario, child_rng(args.seed, 100))
+    fault_config = FaultConfig(
+        server_outage_probability=args.outage,
+        server_degradation_probability=args.degraded,
+        degraded_capacity_fraction=args.degraded_capacity,
+        band_outage_probability=args.band_outage,
+        arrival_churn_probability=args.churn,
+    )
+    faults = draw_faults_for_seed(
+        fault_config,
+        scenario.n_users,
+        scenario.n_servers,
+        scenario.n_subbands,
+        args.seed,
+    )
+    faulted = apply_faults(scenario, faults)
+    print(
+        f"instance: U={args.users} S={args.servers} N={args.subbands} "
+        f"seed={args.seed}"
+    )
+    print(f"planned utility (fault-free) = {plan.utility:.4f}")
+    print(
+        f"faults: down={sorted(faults.failed_servers) or '-'} "
+        f"degraded={[s for s, _ in faults.degraded_servers] or '-'} "
+        f"dead bands={sorted(faults.failed_bands) or '-'} "
+        f"churned users={sorted(faults.churned_users) or '-'}"
+    )
+    policies = (
+        list(DEGRADATION_POLICIES) if args.policy == "both" else [args.policy]
+    )
+    for index, policy in enumerate(policies):
+        degraded = degrade(
+            faulted,
+            plan,
+            faults,
+            policy,
+            rng=child_rng(args.seed, 200 + index),
+            schedule=schedule,
+        )
+        print(
+            f"{policy:15s} utility={degraded.degraded_utility:10.4f} "
+            f"retention={degraded.utility_retention:6.1%} "
+            f"fallback={degraded.n_fallback:3d} churned={degraded.n_churned:3d} "
+            f"repair={degraded.reschedule_wall_time_s:.3f}s"
+        )
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point (also exposed as the ``tsajs`` console script)."""
     args = _build_parser().parse_args(argv)
@@ -248,7 +417,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_list()
     if args.command == "run":
         return _cmd_run(
-            args.experiment, args.quick, args.out, args.json, args.workers
+            args.experiment,
+            args.quick,
+            args.out,
+            args.json,
+            args.workers,
+            journal_path=args.journal,
+            resume=args.resume,
+            retries=args.retries,
+            seed_timeout=args.seed_timeout,
         )
     if args.command == "solve":
         return _cmd_solve(args)
@@ -256,6 +433,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_schemes()
     if args.command == "episode":
         return _cmd_episode(args)
+    if args.command == "faults":
+        return _cmd_faults(args)
     if args.command == "lint":
         return lint.run(args, prog="tsajs lint")
     raise AssertionError(f"unhandled command {args.command!r}")

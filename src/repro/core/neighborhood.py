@@ -77,25 +77,35 @@ class NeighborhoodSampler:
         new = decision.copy()
         user = int(rng.integers(new.n_users))
         rand = float(rng.random())
+        return new, self._apply_move(new, user, rand, rng)
 
+    def _apply_move(
+        self,
+        new: OffloadingDecision,
+        user: int,
+        rand: float,
+        rng: np.random.Generator,
+    ) -> Tuple[int, ...]:
+        """Dispatch ``rand`` to one of the four moves (Algorithm 2 lines 3-12).
+
+        Split out from :meth:`propose_move` so restricted samplers (e.g.
+        the fault-aware :class:`~repro.core.degradation.SlotRestrictedSampler`)
+        can veto or redirect moves without perturbing the user/branch draws.
+        """
         if rand > self.swap_below:
             if rand < self.server_move_below:
-                touched = self._move_server(new, user, rng)
-            elif new.n_channels > 1:
-                touched = self._move_channel(new, user, rng)
-            else:
-                touched = ()
-        elif rand > self.toggle_below:
-            touched = self._swap(new, user, rng)
-        else:
-            touched = self._toggle(new, user, rng)
-        return new, touched
+                return self._move_server(new, user, rng)
+            if new.n_channels > 1:
+                return self._move_channel(new, user, rng)
+            return ()
+        if rand > self.toggle_below:
+            return self._swap(new, user, rng)
+        return self._toggle(new, user, rng)
 
     # --- Moves ---------------------------------------------------------------
 
-    @staticmethod
     def _random_slot_on(
-        decision: OffloadingDecision, server: int, rng: np.random.Generator
+        self, decision: OffloadingDecision, server: int, rng: np.random.Generator
     ) -> int:
         """A free sub-channel of ``server`` if any, else a random one."""
         free = decision.free_channels(server)
@@ -103,8 +113,7 @@ class NeighborhoodSampler:
             return int(free[int(rng.integers(len(free)))])
         return int(rng.integers(decision.n_channels))
 
-    @staticmethod
-    def _with_displaced(user: int, displaced: Optional[int]) -> Tuple[int, ...]:
+    def _with_displaced(self, user: int, displaced: Optional[int]) -> Tuple[int, ...]:
         return (user,) if displaced is None else (user, displaced)
 
     def _move_server(
@@ -143,9 +152,8 @@ class NeighborhoodSampler:
         displaced = decision.displace_and_assign(user, current_server, channel)
         return self._with_displaced(user, displaced)
 
-    @staticmethod
     def _swap(
-        decision: OffloadingDecision, user: int, rng: np.random.Generator
+        self, decision: OffloadingDecision, user: int, rng: np.random.Generator
     ) -> Tuple[int, ...]:
         if decision.n_users < 2:
             return ()

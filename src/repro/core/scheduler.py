@@ -139,9 +139,20 @@ class TsajsScheduler:
         self.evaluator_factory = evaluator_factory
 
     def schedule(
-        self, scenario: "Scenario", rng: Optional[np.random.Generator] = None
+        self,
+        scenario: "Scenario",
+        rng: Optional[np.random.Generator] = None,
+        *,
+        initial: Optional[OffloadingDecision] = None,
     ) -> ScheduleResult:
-        """Run Algorithm 1 on ``scenario`` and return ``(X, F, J)``."""
+        """Run Algorithm 1 on ``scenario`` and return ``(X, F, J)``.
+
+        ``initial`` warm-starts the anneal from a given feasible decision
+        instead of Alg. 1 line 5's random draw (used by the graceful
+        degradation policy to repair an existing plan); the annealer's
+        best-tracking starts at the initial state, so the result is never
+        worse than the warm start itself.
+        """
         # Imported here: repro.sim imports this module at package-init
         # time, so a top-level import would be circular.
         from repro.sim.rng import make_rng
@@ -163,13 +174,16 @@ class TsajsScheduler:
                 wall_time_s=time.perf_counter() - start,
             )
 
-        initial = OffloadingDecision.random_feasible(
-            scenario.n_users,
-            scenario.n_servers,
-            scenario.n_subbands,
-            rng,
-            offload_probability=self.initial_offload_probability,
-        )
+        if initial is None:
+            initial = OffloadingDecision.random_feasible(
+                scenario.n_users,
+                scenario.n_servers,
+                scenario.n_subbands,
+                rng,
+                offload_probability=self.initial_offload_probability,
+            )
+        else:
+            initial = initial.copy()
         annealer = ThresholdTriggeredAnnealer(self.schedule_params)
         delta_kwargs: Dict[str, Any] = {}
         if self.use_delta:

@@ -1,27 +1,46 @@
-"""JSON persistence for experiment outputs.
+"""JSON persistence for experiment outputs and crash-safe sweep journals.
 
-Experiment results carry :class:`~repro.sim.stats.SummaryStats` values
-nested inside their ``raw`` payload; this module round-trips the whole
-:class:`~repro.experiments.report.ExperimentOutput` through JSON so runs
-can be archived, diffed across commits, and re-rendered without re-running
-the (potentially hours-long) sweeps.
+Experiment results carry :class:`~repro.sim.stats.SummaryStats` (and,
+since format version 2, :class:`~repro.sim.metrics.SolutionMetrics`)
+values nested inside their ``raw`` payload; this module round-trips the
+whole :class:`~repro.experiments.report.ExperimentOutput` through JSON so
+runs can be archived, diffed across commits, and re-rendered without
+re-running the (potentially hours-long) sweeps.
+
+The :class:`SweepJournal` adds the crash-safety half: every completed
+(scheme, seed) cell is appended to a JSON-lines file and fsynced the
+moment it is computed, so a sweep killed at any point — a worker SIGKILL,
+a driver crash, a power cut — resumes by re-running only the missing
+cells.  JSON round-trips floats exactly (``repr``-based), so a resumed
+sweep's persisted output is byte-identical to an uninterrupted run's.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
 import json
+import os
 from pathlib import Path
-from typing import Any, Union
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.core.scheduler import Scheduler
 from repro.errors import ConfigurationError
 from repro.experiments.report import ExperimentOutput
+from repro.sim.config import SimulationConfig
+from repro.sim.metrics import SolutionMetrics
 from repro.sim.stats import SummaryStats
 
 #: Tag marking an encoded SummaryStats object inside the JSON tree.
 _STATS_TAG = "__summary_stats__"
 
+#: Tag marking an encoded SolutionMetrics object inside the JSON tree.
+_METRICS_TAG = "__solution_metrics__"
+
 #: Schema version written into every file (bump on format changes).
-FORMAT_VERSION = 1
+#: v1: SummaryStats tagging only.
+#: v2: adds SolutionMetrics tagging and the sweep-journal line format.
+FORMAT_VERSION = 2
 
 
 def _encode(value: Any) -> Any:
@@ -36,6 +55,8 @@ def _encode(value: Any) -> Any:
                 "confidence": value.confidence,
             }
         }
+    if isinstance(value, SolutionMetrics):
+        return {_METRICS_TAG: dataclasses.asdict(value)}
     if isinstance(value, dict):
         return {str(key): _encode(item) for key, item in value.items()}
     if isinstance(value, (list, tuple)):
@@ -59,10 +80,22 @@ def _decode(value: Any) -> Any:
                 n=int(fields["n"]),
                 confidence=float(fields["confidence"]),
             )
+        if set(value.keys()) == {_METRICS_TAG}:
+            return _metrics_from_dict(value[_METRICS_TAG])
         return {key: _decode(item) for key, item in value.items()}
     if isinstance(value, list):
         return [_decode(item) for item in value]
     return value
+
+
+def _metrics_from_dict(fields: Dict[str, Any]) -> SolutionMetrics:
+    known = {f.name for f in dataclasses.fields(SolutionMetrics)}
+    unknown = sorted(set(fields) - known)
+    if unknown:
+        raise ConfigurationError(
+            f"unknown SolutionMetrics fields in payload: {', '.join(unknown)}"
+        )
+    return SolutionMetrics(**fields)
 
 
 def output_to_dict(output: ExperimentOutput) -> dict:
@@ -77,13 +110,30 @@ def output_to_dict(output: ExperimentOutput) -> dict:
     }
 
 
-def output_from_dict(payload: dict) -> ExperimentOutput:
-    """Rebuild an :class:`ExperimentOutput` from :func:`output_to_dict`."""
-    version = payload.get("format_version")
+def _check_version(payload: dict, what: str) -> None:
+    if "format_version" not in payload:
+        raise ConfigurationError(
+            f"{what} has no 'format_version' field; not a file written by "
+            "repro.experiments.persistence (or it predates versioning)"
+        )
+    version = payload["format_version"]
     if version != FORMAT_VERSION:
         raise ConfigurationError(
-            f"unsupported experiment-output format version: {version!r}"
+            f"unsupported {what} format version: {version!r} "
+            f"(this build reads version {FORMAT_VERSION}; re-run the sweep "
+            "or load the file with a matching checkout)"
         )
+
+
+def output_from_dict(payload: dict) -> ExperimentOutput:
+    """Rebuild an :class:`ExperimentOutput` from :func:`output_to_dict`.
+
+    Rejects payloads whose ``format_version`` is missing or differs from
+    :data:`FORMAT_VERSION` with a descriptive
+    :class:`~repro.errors.ConfigurationError` — silently reading a stale
+    or foreign file would corrupt cross-commit comparisons.
+    """
+    _check_version(payload, "experiment-output")
     return ExperimentOutput(
         experiment_id=payload["experiment_id"],
         title=payload["title"],
@@ -102,4 +152,194 @@ def save_output(output: ExperimentOutput, path: Union[str, Path]) -> None:
 def load_output(path: Union[str, Path]) -> ExperimentOutput:
     """Read an experiment output previously written by :func:`save_output`."""
     payload = json.loads(Path(path).read_text())
+    if not isinstance(payload, dict):
+        raise ConfigurationError(
+            f"{path} does not contain a JSON object "
+            f"(got {type(payload).__name__})"
+        )
     return output_from_dict(payload)
+
+
+# --- Sweep fingerprints -----------------------------------------------------
+
+
+def _fingerprint(value: Any) -> Any:
+    """JSON-stable structural fingerprint of configs and schedulers.
+
+    Dataclasses flatten to ``{type, fields...}``; arbitrary objects (the
+    scheduler instances) flatten to their type plus instance ``__dict__``;
+    callables and classes reduce to their qualified name.  Two sweeps
+    share a journal digest only when their configs *and* scheme
+    construction parameters match, so e.g. two ``fig4`` points differing
+    only in chain length never collide.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        fields = {
+            f.name: _fingerprint(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+            if f.init
+        }
+        return {"__type__": type(value).__qualname__, **fields}
+    if isinstance(value, dict):
+        return {str(key): _fingerprint(item) for key, item in sorted(value.items())}
+    if isinstance(value, (list, tuple)):
+        return [_fingerprint(item) for item in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, type) or callable(value):
+        module = getattr(value, "__module__", "")
+        qualname = getattr(value, "__qualname__", type(value).__qualname__)
+        return f"{module}.{qualname}"
+    state = getattr(value, "__dict__", None)
+    if state is not None:
+        return {
+            "__type__": type(value).__qualname__,
+            **{
+                str(key): _fingerprint(item)
+                for key, item in sorted(state.items())
+            },
+        }
+    return repr(value)
+
+
+def sweep_digest(
+    config: SimulationConfig,
+    schedulers: Sequence[Scheduler],
+    extra: Optional[Dict[str, Any]] = None,
+) -> str:
+    """Stable hex digest identifying one (config, schemes) sweep cell set.
+
+    ``extra`` folds driver-specific knobs (fault rates, policies, sweep
+    settings) into the digest so one journal file can safely back many
+    experiment points.
+    """
+    payload = {
+        "config": _fingerprint(config),
+        "schedulers": [_fingerprint(s) for s in schedulers],
+        "extra": _fingerprint(extra) if extra else None,
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+# --- Crash-safe sweep journal -----------------------------------------------
+
+
+class SweepJournal:
+    """Append-per-seed JSON-lines checkpoint store for sweeps.
+
+    Every record is one completed (sweep digest, scheme, seed) cell with
+    its full :class:`~repro.sim.metrics.SolutionMetrics`, flushed and
+    fsynced before the runner moves on — a killed run loses at most the
+    seeds in flight.  Opening with ``resume=True`` loads every intact
+    record (a torn final line from a mid-write crash is skipped; any
+    *intact* line that is not a valid record is rejected) and the runner
+    then re-runs only the missing cells.  Opening with ``resume=False``
+    truncates the file and starts fresh.
+
+    Satisfies the :class:`repro.sim.runner.SeedJournal` protocol, and
+    exposes the digest-level :meth:`get` / :meth:`record` for drivers
+    (e.g. ``ext_faults``) whose cells are not plain (config, scheduler)
+    pairs.
+    """
+
+    def __init__(self, path: Union[str, Path], resume: bool = False) -> None:
+        self.path = Path(path)
+        self._cache: Dict[Tuple[str, str, int], SolutionMetrics] = {}
+        if resume and self.path.exists():
+            self._load()
+        else:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self.path.write_text("")
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def _load(self) -> None:
+        lines = self.path.read_text().splitlines()
+        for index, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError:
+                if index == len(lines) - 1:
+                    # Torn final line: the writer died mid-append.  The
+                    # cell was never acknowledged, so dropping it is safe.
+                    continue
+                raise ConfigurationError(
+                    f"{self.path}:{index + 1}: corrupt journal line "
+                    "(not valid JSON and not the final line)"
+                ) from None
+            _check_version(payload, "sweep-journal")
+            try:
+                key = (
+                    str(payload["digest"]),
+                    str(payload["scheme"]),
+                    int(payload["seed"]),
+                )
+                metrics = _metrics_from_dict(payload["metrics"])
+            except (KeyError, TypeError, ValueError) as exc:
+                raise ConfigurationError(
+                    f"{self.path}:{index + 1}: malformed journal record "
+                    f"({exc})"
+                ) from None
+            self._cache[key] = metrics
+
+    # --- digest-level API ---------------------------------------------------
+
+    def get(self, digest: str, scheme: str, seed: int) -> Optional[SolutionMetrics]:
+        """The cached metrics for one cell, or ``None``."""
+        return self._cache.get((digest, scheme, seed))
+
+    def record(
+        self, digest: str, scheme: str, seed: int, metrics: SolutionMetrics
+    ) -> None:
+        """Durably append one completed cell (flush + fsync)."""
+        line = json.dumps(
+            {
+                "format_version": FORMAT_VERSION,
+                "digest": digest,
+                "scheme": scheme,
+                "seed": seed,
+                "metrics": dataclasses.asdict(metrics),
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        with open(self.path, "a") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        self._cache[(digest, scheme, seed)] = metrics
+
+    # --- SeedJournal protocol (used by repro.sim.runner) --------------------
+
+    def lookup_seed(
+        self,
+        config: SimulationConfig,
+        schedulers: Sequence[Scheduler],
+        seed: int,
+    ) -> Optional[List[SolutionMetrics]]:
+        """Per-scheme metrics for a completed seed, or ``None`` if any
+        scheme's cell is missing."""
+        digest = sweep_digest(config, schedulers)
+        out: List[SolutionMetrics] = []
+        for scheduler in schedulers:
+            metrics = self.get(digest, scheduler.name, seed)
+            if metrics is None:
+                return None
+            out.append(metrics)
+        return out
+
+    def record_seed(
+        self,
+        config: SimulationConfig,
+        schedulers: Sequence[Scheduler],
+        seed: int,
+        metrics: Sequence[SolutionMetrics],
+    ) -> None:
+        """Record every scheme's metrics for one completed seed."""
+        digest = sweep_digest(config, schedulers)
+        for scheduler, entry in zip(schedulers, metrics):
+            self.record(digest, scheduler.name, seed, entry)

@@ -19,6 +19,7 @@ from repro.experiments import (
     ext_downlink,
     ext_episodes,
     ext_fading,
+    ext_faults,
     ext_metaheuristics,
     ext_partial,
     ext_power_control,
@@ -123,6 +124,11 @@ EXPERIMENTS: Dict[str, ExperimentSpec] = {
             "ext_episodes",
             "Extension: episodic operation under server outages",
             ext_episodes,
+        ),
+        _spec(
+            "ext_faults",
+            "Extension: graceful degradation under injected faults",
+            ext_faults,
         ),
     )
 }

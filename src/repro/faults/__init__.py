@@ -1,0 +1,30 @@
+"""Fault injection for MEC scheduling experiments.
+
+Deterministic, seed-derived fault models (server outages, capacity
+degradation, sub-band outages, task-arrival churn) plus scenario
+injection.  See :doc:`docs/robustness` for the full design and
+:mod:`repro.core.degradation` for what schedulers do about the faults.
+"""
+
+from repro.faults.inject import apply_faults, faulted_solution_metrics
+from repro.faults.models import (
+    FAULT_STREAM,
+    OUTAGE_CAPACITY_HZ,
+    OUTAGE_GAIN_FACTOR,
+    FaultConfig,
+    FaultSet,
+    draw_faults,
+    draw_faults_for_seed,
+)
+
+__all__ = [
+    "FAULT_STREAM",
+    "OUTAGE_CAPACITY_HZ",
+    "OUTAGE_GAIN_FACTOR",
+    "FaultConfig",
+    "FaultSet",
+    "apply_faults",
+    "draw_faults",
+    "draw_faults_for_seed",
+    "faulted_solution_metrics",
+]

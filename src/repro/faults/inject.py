@@ -1,0 +1,97 @@
+"""Apply a :class:`~repro.faults.models.FaultSet` to a scenario.
+
+Injection rewrites the scenario's physical layer so the *unmodified*
+schedulers and evaluators see the faults through the quantities they
+already consume:
+
+* a **failed server** keeps a strictly-positive but negligible capacity
+  (:data:`~repro.faults.models.OUTAGE_CAPACITY_HZ`) and its channel
+  gains are scaled by :data:`~repro.faults.models.OUTAGE_GAIN_FACTOR`,
+  driving the spectral efficiency of every link to it to zero — the
+  objective evaluator scores any decision using such a link as ``-inf``,
+* a **degraded server** keeps its links but loses capacity,
+* a **failed sub-band** has only its own gains scaled down,
+* **churned users** are untouched here (the scenario still contains
+  them); the degradation policy in :mod:`repro.core.degradation` forces
+  them local and counts them separately.
+
+The empty fault set returns the *same* scenario object, which is what
+makes the zero-rate path bitwise identical to the fault-free path.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.scheduler import ScheduleResult
+from repro.faults.models import OUTAGE_CAPACITY_HZ, OUTAGE_GAIN_FACTOR, FaultSet
+from repro.errors import ConfigurationError
+from repro.sim.metrics import SolutionMetrics, solution_metrics
+from repro.sim.scenario import Scenario
+from repro.tasks.server import MecServer
+
+
+def apply_faults(scenario: Scenario, faults: FaultSet) -> Scenario:
+    """Return ``scenario`` with ``faults`` burned into servers and gains.
+
+    The returned scenario has the same users, OFDMA grid, and noise
+    floor; only server capacities and the gain tensor change.  With an
+    empty fault set the input object itself is returned (no copy), so
+    identity — and therefore bitwise determinism — is preserved on the
+    fault-free path.
+    """
+    if faults.n_servers != scenario.n_servers or faults.n_subbands != scenario.n_subbands:
+        raise ConfigurationError(
+            "fault set drawn for grid "
+            f"({faults.n_servers}, {faults.n_subbands}) cannot apply to scenario "
+            f"({scenario.n_servers}, {scenario.n_subbands})"
+        )
+    if faults.is_empty:
+        return scenario
+
+    degraded = dict(faults.degraded_servers)
+    servers = []
+    for index, server in enumerate(scenario.servers):
+        if index in faults.failed_servers:
+            servers.append(MecServer(cpu_hz=OUTAGE_CAPACITY_HZ))
+        elif index in degraded:
+            servers.append(server.degraded(degraded[index]))
+        else:
+            servers.append(server)
+
+    gains = scenario.gains.copy()
+    for server in faults.failed_servers:
+        gains[:, server, :] *= OUTAGE_GAIN_FACTOR
+    for server, band in faults.failed_bands:
+        gains[:, server, band] *= OUTAGE_GAIN_FACTOR
+
+    return dataclasses.replace(scenario, servers=servers, gains=gains)
+
+
+def faulted_solution_metrics(
+    scenario: Scenario,
+    result: ScheduleResult,
+    *,
+    planned_utility: float,
+    n_fallback: int,
+    n_churned: int,
+    reschedule_wall_time_s: float,
+) -> SolutionMetrics:
+    """:func:`~repro.sim.metrics.solution_metrics` plus degradation fields.
+
+    ``utility_retention`` is the achieved utility divided by the
+    fault-free plan's utility; a non-positive plan (nothing worth
+    offloading even before the faults) retains everything by definition.
+    """
+    base = solution_metrics(scenario, result)
+    if planned_utility > 0.0:
+        retention = base.system_utility / planned_utility
+    else:
+        retention = 1.0
+    return dataclasses.replace(
+        base,
+        utility_retention=retention,
+        n_fallback=n_fallback,
+        n_churned=n_churned,
+        reschedule_wall_time_s=reschedule_wall_time_s,
+    )

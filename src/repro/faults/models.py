@@ -1,0 +1,294 @@
+"""Seeded fault models for MEC infrastructure (servers, sub-bands, arrivals).
+
+The paper's system model assumes every server and sub-band stays up for
+the whole scheduling horizon; the multi-server JTORA literature it builds
+on motivates edge offloading precisely because individual edge servers
+are small, numerous, and individually unreliable.  This module adds the
+missing failure dimension: deterministic, seed-derived fault draws that
+can be injected into a :class:`~repro.sim.scenario.Scenario` (via
+:func:`repro.faults.inject.apply_faults`) or into episodic simulations.
+
+Three fault classes are modelled:
+
+* **server outage** — a server fails completely for the horizon: its
+  capacity collapses to :data:`OUTAGE_CAPACITY_HZ` and its links fade to
+  :data:`OUTAGE_GAIN_FACTOR` of their nominal gains,
+* **server degradation** — a server survives with a fraction of its
+  nominal capacity (overload, thermal throttling, partial hardware loss),
+* **sub-band outage** — one ``(server, band)`` slot becomes unusable
+  (interference, fronthaul loss) while the server itself stays up,
+* **task-arrival churn** — a user's request is withdrawn before
+  scheduling completes (the user left the cell or cancelled).
+
+All draws come from :func:`repro.sim.rng.child_rng` stream
+:data:`FAULT_STREAM` of the experiment seed, so fault patterns are
+reproducible and independent of the scenario draw (streams 0-1) and of
+every scheduler chain (streams 100+).  A configuration whose every rate
+is zero draws **nothing** from the stream and produces the empty
+:class:`FaultSet`, which downstream injection maps to the *identical*
+scenario object — the zero-rate path is bitwise equal to the fault-free
+path by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.sim.rng import child_rng
+
+#: RNG stream (of the experiment seed) reserved for fault draws.  Streams
+#: 0-1 are the scenario draw, 2-3 episodic activity/mobility, 100+ the
+#: scheduler chains; keeping faults on their own stream means switching
+#: fault rates never perturbs any other draw.
+FAULT_STREAM = 7
+
+#: Capacity of a failed server (cycles/s).  Strictly positive so the
+#: scenario stays valid, but so small that any scheduler worth its salt
+#: routes around the dead machine.
+OUTAGE_CAPACITY_HZ = 1.0
+
+#: Multiplier applied to the channel gains of a failed server or sub-band.
+#: Strictly positive (scenario validation requires positive gains) but
+#: small enough that the spectral efficiency of the dead link rounds to
+#: zero, which the objective evaluator scores as ``-inf`` — no rational
+#: schedule ever keeps a user there.
+OUTAGE_GAIN_FACTOR = 1e-30
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Per-horizon fault rates (all probabilities in ``[0, 1]``).
+
+    Attributes
+    ----------
+    server_outage_probability:
+        Per-server chance of a complete failure.
+    server_degradation_probability:
+        Per-server chance (evaluated only for surviving servers) of
+        running at ``degraded_capacity_fraction`` of nominal capacity.
+    degraded_capacity_fraction:
+        Surviving capacity fraction of a degraded server, in ``(0, 1]``.
+    band_outage_probability:
+        Per-``(server, band)`` chance (surviving servers only) that one
+        slot becomes unusable.
+    arrival_churn_probability:
+        Per-user chance that the task request is withdrawn; churned
+        users are forced to local execution (their request no longer
+        competes for slots).
+    """
+
+    server_outage_probability: float = 0.0
+    server_degradation_probability: float = 0.0
+    degraded_capacity_fraction: float = 0.25
+    band_outage_probability: float = 0.0
+    arrival_churn_probability: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "server_outage_probability",
+            "server_degradation_probability",
+            "band_outage_probability",
+            "arrival_churn_probability",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(f"{name} must lie in [0, 1], got {value}")
+        if not 0.0 < self.degraded_capacity_fraction <= 1.0:
+            raise ConfigurationError(
+                "degraded_capacity_fraction must lie in (0, 1], got "
+                f"{self.degraded_capacity_fraction}"
+            )
+
+    @property
+    def is_trivial(self) -> bool:
+        """True when every fault rate is exactly zero (nothing can fail)."""
+        return (
+            self.server_outage_probability == 0.0
+            and self.server_degradation_probability == 0.0
+            and self.band_outage_probability == 0.0
+            and self.arrival_churn_probability == 0.0
+        )
+
+
+@dataclass(frozen=True)
+class FaultSet:
+    """One concrete realisation of :class:`FaultConfig` for a horizon.
+
+    Attributes
+    ----------
+    n_servers / n_subbands:
+        Grid dimensions the fault set was drawn for (validation only).
+    failed_servers:
+        Servers that failed completely.
+    degraded_servers:
+        ``(server, capacity_fraction)`` pairs for partially-failed servers.
+    failed_bands:
+        ``(server, band)`` slots that are individually unusable.
+    churned_users:
+        Users whose task requests were withdrawn.
+    """
+
+    n_servers: int
+    n_subbands: int
+    failed_servers: FrozenSet[int] = field(default_factory=frozenset)
+    degraded_servers: Tuple[Tuple[int, float], ...] = ()
+    failed_bands: FrozenSet[Tuple[int, int]] = field(default_factory=frozenset)
+    churned_users: FrozenSet[int] = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        if self.n_servers < 1 or self.n_subbands < 1:
+            raise ConfigurationError(
+                "fault set needs n_servers >= 1 and n_subbands >= 1, got "
+                f"{self.n_servers}, {self.n_subbands}"
+            )
+        for server in self.failed_servers:
+            if not 0 <= server < self.n_servers:
+                raise ConfigurationError(
+                    f"failed server {server} out of range [0, {self.n_servers})"
+                )
+        degraded_ids = set()
+        for server, fraction in self.degraded_servers:
+            if not 0 <= server < self.n_servers:
+                raise ConfigurationError(
+                    f"degraded server {server} out of range [0, {self.n_servers})"
+                )
+            if server in self.failed_servers:
+                raise ConfigurationError(
+                    f"server {server} cannot be both failed and degraded"
+                )
+            if server in degraded_ids:
+                raise ConfigurationError(f"server {server} degraded twice")
+            degraded_ids.add(server)
+            if not 0.0 < fraction <= 1.0:
+                raise ConfigurationError(
+                    f"degraded capacity fraction must lie in (0, 1], got {fraction}"
+                )
+        for server, band in self.failed_bands:
+            if not 0 <= server < self.n_servers:
+                raise ConfigurationError(
+                    f"failed band's server {server} out of range [0, {self.n_servers})"
+                )
+            if not 0 <= band < self.n_subbands:
+                raise ConfigurationError(
+                    f"failed band {band} out of range [0, {self.n_subbands})"
+                )
+        for user in self.churned_users:
+            if user < 0:
+                raise ConfigurationError(f"churned user must be >= 0, got {user}")
+
+    @property
+    def is_empty(self) -> bool:
+        """True when nothing failed, degraded, or churned."""
+        return (
+            not self.failed_servers
+            and not self.degraded_servers
+            and not self.failed_bands
+            and not self.churned_users
+        )
+
+    def slot_is_dead(self, server: int, band: int) -> bool:
+        """True when ``(server, band)`` cannot carry an offloaded task."""
+        return server in self.failed_servers or (server, band) in self.failed_bands
+
+    def alive_channels(self) -> Tuple[Tuple[int, ...], ...]:
+        """Per-server tuple of sub-bands still usable for offloading.
+
+        Failed servers contribute an empty tuple; degraded servers keep
+        every band (they are slow, not dead).
+        """
+        alive = []
+        for server in range(self.n_servers):
+            if server in self.failed_servers:
+                alive.append(())
+                continue
+            alive.append(
+                tuple(
+                    band
+                    for band in range(self.n_subbands)
+                    if (server, band) not in self.failed_bands
+                )
+            )
+        return tuple(alive)
+
+    @classmethod
+    def empty(cls, n_servers: int, n_subbands: int) -> "FaultSet":
+        """The fault-free realisation (nothing failed)."""
+        return cls(n_servers=n_servers, n_subbands=n_subbands)
+
+
+def draw_faults(
+    config: FaultConfig,
+    n_users: int,
+    n_servers: int,
+    n_subbands: int,
+    rng: np.random.Generator,
+) -> FaultSet:
+    """Realise one :class:`FaultSet` from per-entity Bernoulli draws.
+
+    A trivial config (every rate zero) consumes **no** randomness and
+    returns :meth:`FaultSet.empty` — the guarantee behind the zero-rate
+    bitwise-identity property.  Draw order is fixed (server outages,
+    then degradations, then band outages, then churn) so individual rates
+    can be varied without reshuffling the draws of earlier classes.
+    """
+    if n_users < 0:
+        raise ConfigurationError(f"n_users must be >= 0, got {n_users}")
+    if config.is_trivial:
+        return FaultSet.empty(n_servers, n_subbands)
+
+    failed_servers = frozenset(
+        server
+        for server in range(n_servers)
+        if config.server_outage_probability > 0.0
+        and rng.random() < config.server_outage_probability
+    )
+    degraded = tuple(
+        (server, config.degraded_capacity_fraction)
+        for server in range(n_servers)
+        if server not in failed_servers
+        and config.server_degradation_probability > 0.0
+        and rng.random() < config.server_degradation_probability
+    )
+    failed_bands = frozenset(
+        (server, band)
+        for server in range(n_servers)
+        for band in range(n_subbands)
+        if server not in failed_servers
+        and config.band_outage_probability > 0.0
+        and rng.random() < config.band_outage_probability
+    )
+    churned = frozenset(
+        user
+        for user in range(n_users)
+        if config.arrival_churn_probability > 0.0
+        and rng.random() < config.arrival_churn_probability
+    )
+    return FaultSet(
+        n_servers=n_servers,
+        n_subbands=n_subbands,
+        failed_servers=failed_servers,
+        degraded_servers=degraded,
+        failed_bands=failed_bands,
+        churned_users=churned,
+    )
+
+
+def draw_faults_for_seed(
+    config: FaultConfig,
+    n_users: int,
+    n_servers: int,
+    n_subbands: int,
+    seed: int,
+) -> FaultSet:
+    """:func:`draw_faults` on stream :data:`FAULT_STREAM` of ``seed``."""
+    return draw_faults(
+        config,
+        n_users,
+        n_servers,
+        n_subbands,
+        child_rng(seed, FAULT_STREAM),
+    )

@@ -13,6 +13,7 @@ from repro.lint.rules import (  # noqa: F401
     r004_equations,
     r005_accumulation,
     r006_config_drift,
+    r007_exceptions,
 )
 
 __all__ = [
@@ -22,4 +23,5 @@ __all__ = [
     "r004_equations",
     "r005_accumulation",
     "r006_config_drift",
+    "r007_exceptions",
 ]

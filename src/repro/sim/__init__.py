@@ -6,8 +6,14 @@ from repro.sim.metrics import SolutionMetrics, solution_metrics
 from repro.sim.runner import (
     ExperimentResult,
     ExperimentRunner,
+    RetryPolicy,
+    SeedFailure,
+    SeedJournal,
+    get_default_journal,
     run_schemes,
+    set_default_journal,
     set_default_n_workers,
+    set_default_retry,
 )
 from repro.sim.scenario import Scenario
 from repro.sim.stats import SummaryStats, mean_confidence_interval, summarize
@@ -18,14 +24,20 @@ __all__ = [
     "EpisodeRunner",
     "ExperimentResult",
     "ExperimentRunner",
+    "RetryPolicy",
     "Scenario",
+    "SeedFailure",
+    "SeedJournal",
     "SimulationConfig",
     "SolutionMetrics",
     "SummaryStats",
+    "get_default_journal",
     "mean_confidence_interval",
     "run_episode",
     "run_schemes",
+    "set_default_journal",
     "set_default_n_workers",
+    "set_default_retry",
     "solution_metrics",
     "summarize",
 ]

@@ -23,13 +23,16 @@ and per-slot metrics are aggregated across the episode.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from repro.core.scheduler import Scheduler
 from repro.errors import ConfigurationError
+from repro.faults.inject import apply_faults
+from repro.faults.models import OUTAGE_CAPACITY_HZ, FaultConfig, draw_faults
 from repro.net.channel import ChannelModel
 from repro.net.ofdma import OfdmaGrid
 from repro.net.pathloss import LogNormalShadowing, UrbanMacroPathLoss
@@ -44,10 +47,16 @@ from repro.tasks.device import UserDevice
 from repro.tasks.server import MecServer
 from repro.tasks.task import Task
 
-#: Capacity of a failed server (cycles/s).  Strictly positive so the
-#: scenario stays valid, but so small that any scheduler worth its salt
-#: routes around the dead machine.
-OUTAGE_CAPACITY_HZ = 1.0
+# OUTAGE_CAPACITY_HZ now lives in repro.faults.models (re-exported here
+# for backward compatibility).
+__all__ = [
+    "OUTAGE_CAPACITY_HZ",
+    "EpisodeConfig",
+    "EpisodeResult",
+    "EpisodeRunner",
+    "SlotRecord",
+    "run_episode",
+]
 
 
 @dataclass(frozen=True)
@@ -71,7 +80,16 @@ class EpisodeConfig:
         Per-slot chance a user moves to a fresh uniform position (its
         path loss and shadowing are redrawn).
     server_outage_probability:
-        Per-slot, per-server chance of a capacity-collapse fault.
+        Per-slot, per-server chance of a capacity-collapse fault (the
+        legacy knob; kept for backward compatibility, drawn on the slot
+        stream exactly as before).
+    faults:
+        Optional richer :class:`~repro.faults.models.FaultConfig` —
+        capacity degradation, sub-band outages, and arrival churn on top
+        of full server outages.  Drawn per slot from its own RNG stream
+        (stream 4 of the episode seed), so enabling it never perturbs
+        the legacy draws; ``None`` or an all-zero config leaves the
+        episode bitwise identical to the fault-free run.
     """
 
     base: SimulationConfig = field(default_factory=SimulationConfig)
@@ -82,6 +100,7 @@ class EpisodeConfig:
     input_range_kb: Tuple[float, float] = (100.0, 800.0)
     reposition_probability: float = 0.05
     server_outage_probability: float = 0.0
+    faults: Optional[FaultConfig] = None
 
     def __post_init__(self) -> None:
         if self.pool_size < 1:
@@ -112,6 +131,9 @@ class SlotRecord:
     active_users: List[int]
     failed_servers: List[int]
     metrics: SolutionMetrics
+    #: Active users whose request was withdrawn by arrival churn
+    #: (pool indices; only populated when ``config.faults`` draws churn).
+    churned_users: List[int] = field(default_factory=list)
 
 
 @dataclass
@@ -150,7 +172,8 @@ class EpisodeRunner:
 
     RNG streams (all derived from the episode seed): 0 pool placement,
     1 pool channel draw, 2 per-slot activity/tasks/outages, 3 mobility
-    redraws, ``1000 + slot`` the scheduler's chain for each slot.
+    redraws, 4 the :class:`~repro.faults.models.FaultConfig` draws,
+    ``1000 + slot`` the scheduler's chain for each slot.
     """
 
     def __init__(self, config: EpisodeConfig, scheduler: Scheduler) -> None:
@@ -175,6 +198,15 @@ class EpisodeRunner:
         channel_rng = child_rng(seed, 1)
         slot_rng = child_rng(seed, 2)
         mobility_rng = child_rng(seed, 3)
+        # Stream 4 is reserved for the rich fault model; an all-zero (or
+        # absent) FaultConfig never draws from it, keeping the legacy
+        # episode path bitwise unchanged.
+        fault_config = config.faults
+        fault_rng = (
+            child_rng(seed, 4)
+            if fault_config is not None and not fault_config.is_trivial
+            else None
+        )
 
         positions = topology.place_users(
             config.pool_size, placement_rng, base.min_bs_distance_km
@@ -207,6 +239,30 @@ class EpisodeRunner:
                 for server in range(base.n_servers)
                 if slot_rng.random() < config.server_outage_probability
             ]
+
+            churned_pool_users: List[int] = []
+            fault_set = None
+            if fault_rng is not None and fault_config is not None:
+                fault_set = draw_faults(
+                    fault_config,
+                    len(active),
+                    base.n_servers,
+                    base.n_subbands,
+                    fault_rng,
+                )
+                # Churned requests are withdrawn before scheduling: the
+                # affected users simply drop out of the slot's instance.
+                if fault_set.churned_users:
+                    churned_pool_users = [
+                        active[index]
+                        for index in sorted(fault_set.churned_users)
+                    ]
+                    active = [
+                        user
+                        for index, user in enumerate(active)
+                        if index not in fault_set.churned_users
+                    ]
+                failed = sorted(set(failed) | fault_set.failed_servers)
 
             servers = [
                 MecServer(
@@ -246,13 +302,21 @@ class EpisodeRunner:
                 topology=topology,
                 user_positions=positions[active].copy(),
             )
+            if fault_set is not None and not fault_set.is_empty:
+                scenario = apply_faults(scenario, fault_set)
             outcome = self.scheduler.schedule(scenario, child_rng(seed, 1000 + slot))
+            metrics = solution_metrics(scenario, outcome)
+            if churned_pool_users:
+                metrics = dataclasses.replace(
+                    metrics, n_churned=len(churned_pool_users)
+                )
             result.slots.append(
                 SlotRecord(
                     slot=slot,
                     active_users=active,
                     failed_servers=failed,
-                    metrics=solution_metrics(scenario, outcome),
+                    metrics=metrics,
+                    churned_users=churned_pool_users,
                 )
             )
         return result

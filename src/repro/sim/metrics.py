@@ -35,6 +35,17 @@ class SolutionMetrics:
         Objective evaluations the scheduler spent.
     wall_time_s:
         Scheduler wall-clock time (Fig. 8's y-axis).
+    utility_retention:
+        Achieved utility as a fraction of the fault-free plan's utility
+        (1.0 on the fault-free path; see :mod:`repro.faults`).
+    n_fallback:
+        Users forced from a failed slot back to local execution by the
+        degradation policy.
+    n_churned:
+        Users whose task request was withdrawn before scheduling closed.
+    reschedule_wall_time_s:
+        Wall-clock seconds the degradation policy spent repairing the
+        plan (0.0 when no repair ran).
     """
 
     system_utility: float
@@ -45,6 +56,10 @@ class SolutionMetrics:
     n_offloaded: int
     evaluations: int
     wall_time_s: float
+    utility_retention: float = 1.0
+    n_fallback: int = 0
+    n_churned: int = 0
+    reschedule_wall_time_s: float = 0.0
 
 
 def solution_metrics(scenario: Scenario, result: ScheduleResult) -> SolutionMetrics:

@@ -6,15 +6,31 @@ builds one :class:`Scenario` per seed, hands every scheme an *independent
 but seed-derived* RNG (so stochastic schedulers are reproducible yet
 decorrelated from the instance draw), and collects
 :class:`~repro.sim.metrics.SolutionMetrics` per (scheme, seed).
+
+Two resilience layers harden long sweeps (see ``docs/robustness.md``):
+
+* a :class:`RetryPolicy` adds per-seed timeouts, bounded retry with
+  exponential backoff, graceful degradation from the process pool to
+  serial execution when the pool breaks, and structured
+  :class:`SeedFailure` records instead of a crash on the first bad seed;
+* a **journal** (any object satisfying :class:`SeedJournal`, in practice
+  :class:`repro.experiments.persistence.SweepJournal`) checkpoints every
+  completed seed to disk so an interrupted sweep resumes by re-running
+  only the missing (scheme, seed) cells.
+
+With neither supplied (and no module-level defaults installed) the
+runner follows the exact legacy code path — bitwise-identical results
+and fail-fast error propagation.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Protocol, Sequence, Tuple
 
 from repro.core.scheduler import Scheduler
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, SolverError
 from repro.sim.config import SimulationConfig
 from repro.sim.metrics import SolutionMetrics, solution_metrics
 from repro.sim.rng import child_rng
@@ -22,25 +38,127 @@ from repro.sim.scenario import Scenario
 from repro.sim.stats import SummaryStats, summarize
 
 
+@dataclass(frozen=True)
+class SeedFailure:
+    """A seed that could not be computed within the retry budget."""
+
+    seed: int
+    attempts: int
+    error: str
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How :func:`run_schemes` survives crashed or hung seed workers.
+
+    Attributes
+    ----------
+    max_attempts:
+        Waves a failing seed is attempted before it is recorded as a
+        :class:`SeedFailure` (>= 1).
+    seed_timeout_s:
+        Wall-clock budget for one seed's work unit in the process pool;
+        a seed exceeding it is treated as hung, the pool is abandoned
+        (its workers cannot be interrupted) and the seed retried in the
+        next wave.  ``None`` disables the timeout.  Serial execution
+        cannot be timed out and ignores this knob.
+    backoff_s / backoff_factor:
+        Sleep between retry waves: ``backoff_s * backoff_factor**k``
+        after wave ``k`` (exponential backoff; gives a transiently
+        sick machine room to recover).
+    serial_fallback:
+        Once the pool broke (worker crash or hang), run later waves
+        serially in-process instead of spawning a fresh pool — slower
+        but immune to pool-level failures.
+    """
+
+    max_attempts: int = 3
+    seed_timeout_s: Optional[float] = None
+    backoff_s: float = 0.5
+    backoff_factor: float = 2.0
+    serial_fallback: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.seed_timeout_s is not None and self.seed_timeout_s <= 0:
+            raise ConfigurationError(
+                f"seed_timeout_s must be positive, got {self.seed_timeout_s}"
+            )
+        if self.backoff_s < 0:
+            raise ConfigurationError(
+                f"backoff_s must be >= 0, got {self.backoff_s}"
+            )
+        if self.backoff_factor < 1.0:
+            raise ConfigurationError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+
+
+class SeedJournal(Protocol):
+    """Checkpoint store the runner consults before and after each seed.
+
+    Implemented by :class:`repro.experiments.persistence.SweepJournal`;
+    kept as a protocol here so ``repro.sim`` never imports the
+    experiments layer at runtime.
+    """
+
+    def lookup_seed(
+        self,
+        config: SimulationConfig,
+        schedulers: Sequence[Scheduler],
+        seed: int,
+    ) -> Optional[List[SolutionMetrics]]:
+        """Per-scheme metrics for a completed seed, or ``None``."""
+        ...  # pragma: no cover - protocol definition
+
+    def record_seed(
+        self,
+        config: SimulationConfig,
+        schedulers: Sequence[Scheduler],
+        seed: int,
+        metrics: Sequence[SolutionMetrics],
+    ) -> None:
+        """Durably record one completed seed's per-scheme metrics."""
+        ...  # pragma: no cover - protocol definition
+
+
 @dataclass
 class ExperimentResult:
-    """Per-scheme metric samples for one experiment point."""
+    """Per-scheme metric samples for one experiment point.
+
+    ``seeds`` lists the *requested* seeds; when a resilient run gives up
+    on some of them, the per-scheme sample lists cover only the seeds
+    that completed and ``failures`` records the rest.
+    """
 
     config: SimulationConfig
     seeds: List[int]
     metrics: Dict[str, List[SolutionMetrics]] = field(default_factory=dict)
+    failures: List[SeedFailure] = field(default_factory=list)
+
+    def _samples(self, scheme: str) -> List[SolutionMetrics]:
+        try:
+            return self.metrics[scheme]
+        except KeyError:
+            known = ", ".join(sorted(self.metrics)) or "none recorded"
+            raise ConfigurationError(
+                f"unknown scheme {scheme!r}; known schemes: {known}"
+            ) from None
 
     def utilities(self, scheme: str) -> List[float]:
-        return [m.system_utility for m in self.metrics[scheme]]
+        return [m.system_utility for m in self._samples(scheme)]
 
     def wall_times(self, scheme: str) -> List[float]:
-        return [m.wall_time_s for m in self.metrics[scheme]]
+        return [m.wall_time_s for m in self._samples(scheme)]
 
     def mean_times(self, scheme: str) -> List[float]:
-        return [m.mean_time_s for m in self.metrics[scheme]]
+        return [m.mean_time_s for m in self._samples(scheme)]
 
     def mean_energies(self, scheme: str) -> List[float]:
-        return [m.mean_energy_j for m in self.metrics[scheme]]
+        return [m.mean_energy_j for m in self._samples(scheme)]
 
     def utility_summary(self, scheme: str, confidence: float = 0.95) -> SummaryStats:
         return summarize(self.utilities(scheme), confidence)
@@ -51,6 +169,12 @@ class ExperimentResult:
     @property
     def schemes(self) -> List[str]:
         return list(self.metrics.keys())
+
+    @property
+    def completed_seeds(self) -> List[int]:
+        """Requested seeds minus the permanently-failed ones."""
+        failed = {failure.seed for failure in self.failures}
+        return [seed for seed in self.seeds if seed not in failed]
 
 
 def _run_one_seed(
@@ -72,6 +196,12 @@ def _run_one_seed(
 #: ``config.n_workers`` asks for parallelism (set by ``tsajs run --workers``).
 _DEFAULT_N_JOBS = 1
 
+#: Process-level defaults installed by the CLI (``tsajs run --retries /
+#: --seed-timeout / --journal``); experiment drivers build their own
+#: configs internally, so explicit arguments cannot reach them.
+_DEFAULT_RETRY: Optional[RetryPolicy] = None
+_DEFAULT_JOURNAL: Optional[SeedJournal] = None
+
 
 def set_default_n_workers(n_workers: int) -> None:
     """Set the process-level default worker count for multi-seed runs.
@@ -87,11 +217,157 @@ def set_default_n_workers(n_workers: int) -> None:
     _DEFAULT_N_JOBS = n_workers
 
 
+def set_default_retry(retry: Optional[RetryPolicy]) -> None:
+    """Install (or clear, with ``None``) the process-level retry policy."""
+    global _DEFAULT_RETRY
+    _DEFAULT_RETRY = retry
+
+
+def set_default_journal(journal: Optional[SeedJournal]) -> None:
+    """Install (or clear, with ``None``) the process-level seed journal."""
+    global _DEFAULT_JOURNAL
+    _DEFAULT_JOURNAL = journal
+
+
+def get_default_journal() -> Optional[SeedJournal]:
+    """The process-level seed journal, if one is installed."""
+    return _DEFAULT_JOURNAL
+
+
+#: One unit of pending work: ``(position in the seed list, seed)``.
+_Cell = Tuple[int, int]
+
+
+def _run_wave_serial(
+    config: SimulationConfig,
+    schedulers: Sequence[Scheduler],
+    cells: Sequence[_Cell],
+) -> Tuple[List[Tuple[int, int, List[SolutionMetrics]]], List[Tuple[int, int, str]]]:
+    """One serial attempt over ``cells``; never raises on a bad seed."""
+    done: List[Tuple[int, int, List[SolutionMetrics]]] = []
+    failed: List[Tuple[int, int, str]] = []
+    for position, seed in cells:
+        try:
+            metrics = _run_one_seed(config, schedulers, seed)
+        except Exception as exc:
+            failed.append((position, seed, f"{type(exc).__name__}: {exc}"))
+        else:
+            done.append((position, seed, metrics))
+    return done, failed
+
+
+def _run_wave_pool(
+    config: SimulationConfig,
+    schedulers: Sequence[Scheduler],
+    cells: Sequence[_Cell],
+    n_jobs: int,
+    timeout_s: Optional[float],
+) -> Tuple[
+    List[Tuple[int, int, List[SolutionMetrics]]],
+    List[Tuple[int, int, str]],
+    bool,
+]:
+    """One process-pool attempt over ``cells``.
+
+    Returns ``(done, failed, pool_broken)``.  A worker crash surfaces as
+    ``BrokenProcessPool`` on its future (and on every sibling still
+    pending); a hung worker trips ``timeout_s``.  Either way the pool is
+    reported broken: its workers cannot be recovered, so the caller must
+    abandon it (``shutdown(wait=False)``) and retry the failed cells in
+    a fresh pool or serially.
+    """
+    from concurrent.futures import ProcessPoolExecutor
+    from concurrent.futures import TimeoutError as FuturesTimeoutError
+    from concurrent.futures.process import BrokenProcessPool
+
+    done: List[Tuple[int, int, List[SolutionMetrics]]] = []
+    failed: List[Tuple[int, int, str]] = []
+    broken = False
+    pool = ProcessPoolExecutor(max_workers=min(n_jobs, len(cells)))
+    try:
+        futures = [
+            (position, seed, pool.submit(_run_one_seed, config, schedulers, seed))
+            for position, seed in cells
+        ]
+        for position, seed, future in futures:
+            try:
+                metrics = future.result(timeout=timeout_s)
+            except FuturesTimeoutError:
+                broken = True
+                failed.append(
+                    (position, seed, f"seed {seed} exceeded the {timeout_s}s budget")
+                )
+            except BrokenProcessPool:
+                broken = True
+                failed.append(
+                    (position, seed, f"worker process died while running seed {seed}")
+                )
+            except Exception as exc:
+                failed.append((position, seed, f"{type(exc).__name__}: {exc}"))
+            else:
+                done.append((position, seed, metrics))
+    finally:
+        # A broken pool (dead or hung worker) cannot be drained; waiting
+        # on shutdown would block forever on the hung worker.
+        pool.shutdown(wait=not broken, cancel_futures=True)
+    return done, failed, broken
+
+
+def _run_resilient(
+    config: SimulationConfig,
+    schedulers: Sequence[Scheduler],
+    cells: Sequence[_Cell],
+    n_jobs: int,
+    policy: RetryPolicy,
+    journal: Optional[SeedJournal],
+) -> Tuple[Dict[int, List[SolutionMetrics]], List[SeedFailure]]:
+    """Retry loop over pending cells; returns per-position results."""
+    results: Dict[int, List[SolutionMetrics]] = {}
+    pending: List[_Cell] = list(cells)
+    last_error: Dict[int, str] = {}
+    use_pool = n_jobs > 1 and len(pending) > 1
+    delay = policy.backoff_s
+
+    for attempt in range(1, policy.max_attempts + 1):
+        if not pending:
+            break
+        if attempt > 1 and delay > 0:
+            time.sleep(delay)
+            delay *= policy.backoff_factor
+        if use_pool:
+            done, failed, broken = _run_wave_pool(
+                config, schedulers, pending, n_jobs, policy.seed_timeout_s
+            )
+            if broken and policy.serial_fallback:
+                use_pool = False
+        else:
+            done, failed = _run_wave_serial(config, schedulers, pending)
+        for position, seed, metrics in done:
+            results[position] = metrics
+            if journal is not None:
+                journal.record_seed(config, schedulers, seed, metrics)
+        pending = [(position, seed) for position, seed, _ in failed]
+        for position, seed, error in failed:
+            last_error[position] = error
+
+    failures = [
+        SeedFailure(
+            seed=seed,
+            attempts=policy.max_attempts,
+            error=last_error.get(position, "unknown error"),
+        )
+        for position, seed in pending
+    ]
+    return results, failures
+
+
 def run_schemes(
     config: SimulationConfig,
     schedulers: Sequence[Scheduler],
     seeds: Sequence[int],
     n_jobs: Optional[int] = None,
+    retry: Optional[RetryPolicy] = None,
+    journal: Optional[SeedJournal] = None,
 ) -> ExperimentResult:
     """Run every scheduler on every seed's scenario instance.
 
@@ -106,6 +382,16 @@ def run_schemes(
     fully-seeded work unit and the merge preserves seed order), so
     parallelism is purely a wall-clock optimisation.  Schedulers must be
     picklable in that case (all built-in ones are).
+
+    ``retry`` and ``journal`` (defaulting to the process-level values
+    installed by :func:`set_default_retry` / :func:`set_default_journal`)
+    switch the runner to its resilient path: journal-cached seeds are
+    not re-run, crashed or hung seeds are retried per the policy, and
+    seeds that exhaust the budget land in ``result.failures`` instead of
+    raising — unless *no* seed completed at all, which raises
+    :class:`~repro.errors.SolverError`.  A completed seed's metrics are
+    identical on the legacy and resilient paths (same work unit, same
+    seed-ordered merge), so retries and resumes never change results.
     """
     seeds = list(seeds)
     if not seeds:
@@ -117,28 +403,64 @@ def run_schemes(
     names = [s.name for s in schedulers]
     if len(set(names)) != len(names):
         raise ConfigurationError(f"duplicate scheduler names: {names}")
+    if retry is None:
+        retry = _DEFAULT_RETRY
+    if journal is None:
+        journal = _DEFAULT_JOURNAL
 
     result = ExperimentResult(config=config, seeds=seeds)
     for name in names:
         result.metrics[name] = []
 
-    if n_jobs == 1 or len(seeds) == 1:
-        per_seed = [_run_one_seed(config, schedulers, seed) for seed in seeds]
-    else:
-        from concurrent.futures import ProcessPoolExecutor
+    if retry is None and journal is None:
+        # Legacy fail-fast path: bitwise-identical to the original
+        # runner, exceptions propagate to the caller.
+        if n_jobs == 1 or len(seeds) == 1:
+            per_seed = [_run_one_seed(config, schedulers, seed) for seed in seeds]
+        else:
+            from concurrent.futures import ProcessPoolExecutor
 
-        with ProcessPoolExecutor(max_workers=min(n_jobs, len(seeds))) as pool:
-            per_seed = list(
-                pool.map(
-                    _run_one_seed,
-                    [config] * len(seeds),
-                    [schedulers] * len(seeds),
-                    seeds,
+            with ProcessPoolExecutor(max_workers=min(n_jobs, len(seeds))) as pool:
+                per_seed = list(
+                    pool.map(
+                        _run_one_seed,
+                        [config] * len(seeds),
+                        [schedulers] * len(seeds),
+                        seeds,
+                    )
                 )
+        for metrics in per_seed:
+            for name, entry in zip(names, metrics):
+                result.metrics[name].append(entry)
+        return result
+
+    by_position: Dict[int, List[SolutionMetrics]] = {}
+    pending: List[_Cell] = []
+    for position, seed in enumerate(seeds):
+        cached = journal.lookup_seed(config, schedulers, seed) if journal else None
+        if cached is not None:
+            by_position[position] = cached
+        else:
+            pending.append((position, seed))
+
+    policy = retry if retry is not None else RetryPolicy()
+    if pending:
+        computed, failures = _run_resilient(
+            config, schedulers, pending, n_jobs, policy, journal
+        )
+        by_position.update(computed)
+        result.failures = failures
+        if not by_position:
+            details = "; ".join(
+                f"seed {f.seed}: {f.error}" for f in failures[:5]
+            )
+            raise SolverError(
+                f"all {len(seeds)} seeds failed after "
+                f"{policy.max_attempts} attempt(s): {details}"
             )
 
-    for metrics in per_seed:
-        for name, entry in zip(names, metrics):
+    for position in sorted(by_position):
+        for name, entry in zip(names, by_position[position]):
             result.metrics[name].append(entry)
     return result
 
@@ -152,15 +474,23 @@ class ExperimentRunner:
     determinism tests).  ``n_workers=None`` defers to ``config.n_workers``;
     any value keeps the deterministic seed-ordered merge, so
     ``ExperimentRunner(..., n_workers=4).run(seeds)`` returns exactly the
-    same metrics as the serial run.
+    same metrics as the serial run.  ``retry`` / ``journal`` opt in to
+    the resilient path exactly as in :func:`run_schemes`.
     """
 
     config: SimulationConfig
     schedulers: Sequence[Scheduler]
     n_workers: Optional[int] = None
+    retry: Optional[RetryPolicy] = None
+    journal: Optional[SeedJournal] = None
 
     def run(self, seeds: Sequence[int]) -> ExperimentResult:
         """Run every scheduler on every seed (see :func:`run_schemes`)."""
         return run_schemes(
-            self.config, self.schedulers, seeds, n_jobs=self.n_workers
+            self.config,
+            self.schedulers,
+            seeds,
+            n_jobs=self.n_workers,
+            retry=self.retry,
+            journal=self.journal,
         )

@@ -58,6 +58,12 @@ def summarize(samples: Sequence[float], confidence: float = 0.95) -> SummaryStat
     data = np.asarray(list(samples), dtype=float)
     if data.size == 0:
         raise ConfigurationError("cannot summarize an empty sample")
+    if not bool(np.all(np.isfinite(data))):
+        bad = int(np.count_nonzero(~np.isfinite(data)))
+        raise ConfigurationError(
+            f"cannot summarize non-finite samples: {bad} of {data.size} "
+            "values are NaN or infinite (filter them out explicitly first)"
+        )
     mean = float(data.mean())
     if data.size == 1:
         return SummaryStats(mean=mean, std=0.0, ci_halfwidth=0.0, n=1, confidence=confidence)

@@ -31,6 +31,19 @@ class MecServer:
                 f"server CPU frequency must be positive, got {self.cpu_hz}"
             )
 
+    def degraded(self, capacity_fraction: float) -> "MecServer":
+        """A copy of this server running at a fraction of its capacity.
+
+        Models partial failures (thermal throttling, overload shedding,
+        loss of some cores) used by :mod:`repro.faults`; the fraction
+        must keep the capacity strictly positive.
+        """
+        if not 0.0 < capacity_fraction <= 1.0:
+            raise ConfigurationError(
+                f"capacity_fraction must lie in (0, 1], got {capacity_fraction}"
+            )
+        return MecServer(cpu_hz=self.cpu_hz * capacity_fraction)
+
     def execution_time_s(self, cycles: float, allocated_hz: float) -> float:
         """``t_execute = w_u / f_us`` for an allocated share (Eq. 7)."""
         if allocated_hz <= 0:

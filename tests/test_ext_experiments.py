@@ -133,3 +133,59 @@ class TestExtEpisodes:
         from repro.experiments.registry import EXPERIMENTS
 
         assert "ext_episodes" in EXPERIMENTS
+
+
+@pytest.mark.slow
+class TestExtFaults:
+    @pytest.fixture(scope="class")
+    def output(self):
+        from repro.experiments import ext_faults
+
+        return ext_faults.run(ext_faults.ExtFaultsSettings.quick())
+
+    def test_structure(self, output):
+        assert output.experiment_id == "ext_faults"
+        assert output.raw["outage_probabilities"] == [0.0, 0.4]
+        assert set(output.raw["series"]) == {"TSAJS+local", "TSAJS+resched"}
+        assert set(output.raw["fallbacks"]) == set(output.raw["series"])
+        assert render_text(output)
+
+    def test_reschedule_never_retains_less(self, output):
+        local = output.raw["series"]["TSAJS+local"]
+        resched = output.raw["series"]["TSAJS+resched"]
+        for a, b in zip(local, resched):
+            assert b.mean >= a.mean - 1e-9
+
+    def test_retention_bounded(self, output):
+        for stats in output.raw["series"].values():
+            for entry in stats:
+                assert entry.mean <= 1.0 + 1e-9
+
+    def test_resumed_run_is_byte_identical(self, tmp_path):
+        """Acceptance: interrupt the sweep, resume, compare output bytes."""
+        import json as json_module
+
+        from repro.experiments import ext_faults
+        from repro.experiments.persistence import SweepJournal, output_to_dict
+        from repro.sim.runner import set_default_journal
+
+        settings = ext_faults.ExtFaultsSettings.quick()
+        path = tmp_path / "journal.jsonl"
+        try:
+            set_default_journal(SweepJournal(path))
+            full = ext_faults.run(settings)
+            # Simulate a crash partway through: keep only half the cells.
+            lines = path.read_text().splitlines()
+            path.write_text("\n".join(lines[: len(lines) // 2]) + "\n")
+            set_default_journal(SweepJournal(path, resume=True))
+            resumed = ext_faults.run(settings)
+        finally:
+            set_default_journal(None)
+        assert json_module.dumps(output_to_dict(full)) == json_module.dumps(
+            output_to_dict(resumed)
+        )
+
+    def test_registered(self):
+        from repro.experiments.registry import EXPERIMENTS
+
+        assert "ext_faults" in EXPERIMENTS

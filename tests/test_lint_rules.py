@@ -1,4 +1,4 @@
-"""Positive and negative fixtures for every lint rule (R001-R006).
+"""Positive and negative fixtures for every lint rule (R001-R007).
 
 Each rule is demonstrated by at least one *failing* fixture (the rule
 fires on code exhibiting the hazard) and one *passing* fixture (the
@@ -432,6 +432,72 @@ class TestR006ConfigDrift:
         assert "dead_knob" in diags[0].message
 
 
+class TestR007ExceptionHygiene:
+    def test_flags_bare_except(self, tmp_path):
+        _write_tree(tmp_path, {
+            "repro/experiments/x.py": (
+                "def f():\n"
+                "    try:\n"
+                "        return 1\n"
+                "    except:\n"
+                "        return 0\n"
+            ),
+        })
+        diags = _lint(tmp_path, "R007")
+        assert len(diags) == 1
+        assert "KeyboardInterrupt" in diags[0].message
+
+    def test_flags_swallowed_exception(self, tmp_path):
+        _write_tree(tmp_path, {
+            "repro/sim/x.py": (
+                "def f():\n"
+                "    try:\n"
+                "        risky()\n"
+                "    except Exception:\n"
+                "        pass\n"
+            ),
+        })
+        diags = _lint(tmp_path, "R007")
+        assert len(diags) == 1
+        assert "swallows" in diags[0].message
+
+    def test_flags_swallowed_base_exception_in_tuple(self, tmp_path):
+        _write_tree(tmp_path, {
+            "repro/sim/x.py": (
+                "def f():\n"
+                "    try:\n"
+                "        risky()\n"
+                "    except (ValueError, BaseException) as exc:\n"
+                "        ...\n"
+            ),
+        })
+        assert len(_lint(tmp_path, "R007")) == 1
+
+    def test_recording_broad_handler_is_fine(self, tmp_path):
+        _write_tree(tmp_path, {
+            "repro/sim/x.py": (
+                "def f(failures):\n"
+                "    try:\n"
+                "        risky()\n"
+                "    except Exception as exc:\n"
+                "        failures.append(str(exc))\n"
+            ),
+        })
+        assert _lint(tmp_path, "R007") == []
+
+    def test_narrow_silent_handler_is_fine(self, tmp_path):
+        _write_tree(tmp_path, {
+            "repro/sim/x.py": (
+                "def f(mapping):\n"
+                "    try:\n"
+                "        del mapping['k']\n"
+                "    except KeyError:\n"
+                "        pass\n"
+            ),
+        })
+        assert _lint(tmp_path, "R007") == []
+
+
 class TestEveryRuleHasFailingFixture:
     """Meta-guarantee: each registered rule fires on at least one fixture."""
 
@@ -444,6 +510,10 @@ class TestEveryRuleHasFailingFixture:
         "R006": (
             "repro/sim/config.py",
             "class SimulationConfig:\n    ghost: int = 1\n",
+        ),
+        "R007": (
+            "repro/sim/x.py",
+            "try:\n    pass\nexcept Exception:\n    pass\n",
         ),
     }
 

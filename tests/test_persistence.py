@@ -1,19 +1,44 @@
-"""Tests for JSON persistence of experiment outputs."""
+"""Tests for JSON persistence of experiment outputs and sweep journals."""
 
+import dataclasses
 import json
 
 import pytest
 
+from repro.baselines import GreedyScheduler
+from repro.core.annealing import AnnealingSchedule
+from repro.core.scheduler import TsajsScheduler
 from repro.errors import ConfigurationError
 from repro.experiments.persistence import (
     FORMAT_VERSION,
+    SweepJournal,
     load_output,
     output_from_dict,
     output_to_dict,
     save_output,
+    sweep_digest,
 )
 from repro.experiments.report import ExperimentOutput
+from repro.sim.config import SimulationConfig
+from repro.sim.metrics import SolutionMetrics
 from repro.sim.stats import SummaryStats, summarize
+
+
+def sample_metrics(seed: int = 0) -> SolutionMetrics:
+    return SolutionMetrics(
+        system_utility=1.25 + seed,
+        mean_time_s=0.1,
+        mean_energy_j=0.2,
+        mean_offloaded_time_s=0.05,
+        mean_offloaded_energy_j=0.07,
+        n_offloaded=3,
+        evaluations=42,
+        wall_time_s=0.5,
+        utility_retention=0.875,
+        n_fallback=2,
+        n_churned=1,
+        reschedule_wall_time_s=0.125,
+    )
 
 
 def sample_output():
@@ -79,11 +104,80 @@ class TestRoundTrip:
         assert rebuilt.raw["tuple"] == [1, 2]
 
 
+class TestSolutionMetricsRoundTrip:
+    """Format v2: SolutionMetrics survive the JSON round trip exactly."""
+
+    def test_metrics_in_raw_roundtrip(self):
+        output = ExperimentOutput(
+            experiment_id="demo",
+            title="Demo",
+            headers=["a"],
+            rows=[["1"]],
+            raw={"cells": [sample_metrics(0), sample_metrics(1)]},
+        )
+        rebuilt = output_from_dict(output_to_dict(output))
+        restored = rebuilt.raw["cells"][0]
+        assert isinstance(restored, SolutionMetrics)
+        assert restored == sample_metrics(0)
+        assert rebuilt.raw["cells"][1].system_utility == 2.25
+
+    def test_float_fields_bitwise_exact(self):
+        # JSON uses repr-based floats, so resume can be byte-identical.
+        ugly = dataclasses.replace(
+            sample_metrics(), system_utility=0.1 + 0.2, wall_time_s=1 / 3
+        )
+        output = ExperimentOutput(
+            experiment_id="demo",
+            title="Demo",
+            headers=["a"],
+            rows=[["1"]],
+            raw={"m": ugly},
+        )
+        text = json.dumps(output_to_dict(output))
+        rebuilt = output_from_dict(json.loads(text))
+        assert rebuilt.raw["m"].system_utility == 0.1 + 0.2
+        assert rebuilt.raw["m"].wall_time_s == 1 / 3
+
+
 class TestValidation:
     def test_rejects_unknown_version(self):
         payload = output_to_dict(sample_output())
         payload["format_version"] = 999
-        with pytest.raises(ConfigurationError):
+        with pytest.raises(ConfigurationError, match="999"):
+            output_from_dict(payload)
+
+    def test_rejects_previous_version(self):
+        # v1 payloads predate SolutionMetrics tagging; a silent read
+        # could mis-decode them, so the loader refuses outright.
+        payload = output_to_dict(sample_output())
+        payload["format_version"] = 1
+        with pytest.raises(ConfigurationError, match="format version: 1"):
+            output_from_dict(payload)
+
+    def test_rejects_missing_version(self):
+        payload = output_to_dict(sample_output())
+        del payload["format_version"]
+        with pytest.raises(ConfigurationError, match="no 'format_version'"):
+            output_from_dict(payload)
+
+    def test_load_rejects_non_object_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("[1, 2, 3]\n")
+        with pytest.raises(ConfigurationError, match="JSON object"):
+            load_output(path)
+
+    def test_rejects_unknown_metrics_fields(self):
+        payload = output_to_dict(
+            ExperimentOutput(
+                experiment_id="demo",
+                title="Demo",
+                headers=["a"],
+                rows=[["1"]],
+                raw={"m": sample_metrics()},
+            )
+        )
+        payload["raw"]["m"]["__solution_metrics__"]["bogus_field"] = 1.0
+        with pytest.raises(ConfigurationError, match="bogus_field"):
             output_from_dict(payload)
 
     def test_rejects_unserializable_raw(self):
@@ -96,6 +190,103 @@ class TestValidation:
         )
         with pytest.raises(ConfigurationError):
             output_to_dict(output)
+
+
+class TestSweepDigest:
+    CONFIG = SimulationConfig(n_users=6, n_servers=3, n_subbands=2)
+
+    def test_stable_across_calls(self):
+        schedulers = [GreedyScheduler()]
+        assert sweep_digest(self.CONFIG, schedulers) == sweep_digest(
+            self.CONFIG, schedulers
+        )
+
+    def test_config_changes_digest(self):
+        other = SimulationConfig(n_users=7, n_servers=3, n_subbands=2)
+        assert sweep_digest(self.CONFIG, [GreedyScheduler()]) != sweep_digest(
+            other, [GreedyScheduler()]
+        )
+
+    def test_scheduler_parameters_change_digest(self):
+        # Two fig4-style points differing only in chain length must
+        # never share journal cells.
+        short = TsajsScheduler(schedule=AnnealingSchedule(chain_length=10))
+        long = TsajsScheduler(schedule=AnnealingSchedule(chain_length=20))
+        assert sweep_digest(self.CONFIG, [short]) != sweep_digest(
+            self.CONFIG, [long]
+        )
+
+    def test_extra_payload_changes_digest(self):
+        schedulers = [GreedyScheduler()]
+        assert sweep_digest(
+            self.CONFIG, schedulers, extra={"experiment": "a"}
+        ) != sweep_digest(self.CONFIG, schedulers, extra={"experiment": "b"})
+
+
+class TestSweepJournal:
+    def test_record_get_roundtrip(self, tmp_path):
+        journal = SweepJournal(tmp_path / "j.jsonl")
+        metrics = sample_metrics()
+        journal.record("digest", "TSAJS", 7, metrics)
+        assert journal.get("digest", "TSAJS", 7) == metrics
+        assert journal.get("digest", "TSAJS", 8) is None
+        assert journal.get("other", "TSAJS", 7) is None
+        assert len(journal) == 1
+
+    def test_resume_reloads_records_exactly(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = SweepJournal(path)
+        metrics = sample_metrics()
+        journal.record("digest", "TSAJS", 7, metrics)
+        reloaded = SweepJournal(path, resume=True)
+        assert reloaded.get("digest", "TSAJS", 7) == metrics
+
+    def test_fresh_open_truncates(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        SweepJournal(path).record("d", "s", 0, sample_metrics())
+        fresh = SweepJournal(path, resume=False)
+        assert len(fresh) == 0
+        assert path.read_text() == ""
+
+    def test_torn_final_line_is_tolerated(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = SweepJournal(path)
+        journal.record("d", "s", 0, sample_metrics())
+        journal.record("d", "s", 1, sample_metrics())
+        with open(path, "a") as handle:
+            handle.write('{"format_version": 2, "dig')  # crash mid-append
+        reloaded = SweepJournal(path, resume=True)
+        assert len(reloaded) == 2
+
+    def test_corrupt_middle_line_is_rejected(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = SweepJournal(path)
+        journal.record("d", "s", 0, sample_metrics())
+        lines = path.read_text()
+        path.write_text("not json at all\n" + lines)
+        with pytest.raises(ConfigurationError, match="corrupt journal line"):
+            SweepJournal(path, resume=True)
+
+    def test_wrong_version_line_is_rejected(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = SweepJournal(path)
+        journal.record("d", "s", 0, sample_metrics())
+        record = json.loads(path.read_text())
+        record["format_version"] = 1
+        path.write_text(json.dumps(record) + "\n\n")
+        with pytest.raises(ConfigurationError, match="sweep-journal"):
+            SweepJournal(path, resume=True)
+
+    def test_malformed_record_is_rejected(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text('{"format_version": 2, "digest": "d"}\n\n')
+        with pytest.raises(ConfigurationError, match="malformed journal"):
+            SweepJournal(path, resume=True)
+
+    def test_creates_parent_directories(self, tmp_path):
+        journal = SweepJournal(tmp_path / "deep" / "nested" / "j.jsonl")
+        journal.record("d", "s", 0, sample_metrics())
+        assert (tmp_path / "deep" / "nested" / "j.jsonl").exists()
 
 
 class TestCliIntegration:

@@ -1,0 +1,423 @@
+"""Tests for the crash-tolerant experiment harness.
+
+Exercises the resilient path of :func:`repro.sim.runner.run_schemes`:
+retry with backoff, per-seed timeouts, pool-to-serial graceful
+degradation after a worker death, structured :class:`SeedFailure`
+records, the crash-safe seed journal, and the acceptance property that
+an interrupted-then-resumed sweep reproduces an uninterrupted run's
+metrics exactly.
+
+The fault-injecting schedulers below coordinate across processes through
+marker files (the only channel that survives a worker being killed), so
+every scenario — crash once, hang once, fail one seed forever — is
+deterministic and self-healing on retry.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import os
+import tempfile
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+import pytest
+
+from repro.baselines import GreedyScheduler
+from repro.errors import ConfigurationError, SolverError
+from repro.experiments.persistence import SweepJournal
+from repro.sim.config import SimulationConfig
+from repro.sim.runner import (
+    ExperimentResult,
+    ExperimentRunner,
+    RetryPolicy,
+    SeedFailure,
+    get_default_journal,
+    run_schemes,
+    set_default_journal,
+    set_default_retry,
+)
+
+CONFIG = SimulationConfig(n_users=4, n_servers=2, n_subbands=2)
+
+
+@pytest.fixture(autouse=True)
+def _clear_module_defaults():
+    """Never leak process-level retry/journal defaults across tests."""
+    yield
+    set_default_retry(None)
+    set_default_journal(None)
+
+
+def _touch_unique(directory: str, prefix: str) -> None:
+    fd, _ = tempfile.mkstemp(prefix=prefix, dir=directory)
+    os.close(fd)
+
+
+def _calls(directory: str, prefix: str = "call_") -> int:
+    return len([p for p in os.listdir(directory) if p.startswith(prefix)])
+
+
+@dataclass(frozen=True)
+class CountingScheduler:
+    """Greedy, plus a marker file per ``schedule`` call (crash-proof)."""
+
+    marker_dir: str
+    name: str = "Counting"
+
+    def schedule(self, scenario, rng):
+        _touch_unique(self.marker_dir, "call_")
+        return GreedyScheduler().schedule(scenario, rng)
+
+
+@dataclass(frozen=True)
+class CrashOnceScheduler:
+    """Kills its worker process on the first call ever; clean afterwards.
+
+    ``os._exit`` bypasses every exception handler — exactly what a
+    SIGKILL'd or OOM-killed worker looks like to the pool.
+    """
+
+    marker_dir: str
+    name: str = "CrashOnce"
+
+    def schedule(self, scenario, rng):
+        _touch_unique(self.marker_dir, "call_")
+        crashed = Path(self.marker_dir) / "crashed"
+        if not crashed.exists():
+            crashed.touch()
+            os._exit(13)
+        return GreedyScheduler().schedule(scenario, rng)
+
+
+@dataclass(frozen=True)
+class HangOnceScheduler:
+    """Sleeps far past the seed timeout on the first call ever."""
+
+    marker_dir: str
+    name: str = "HangOnce"
+
+    def schedule(self, scenario, rng):
+        hung = Path(self.marker_dir) / "hung"
+        if not hung.exists():
+            hung.touch()
+            time.sleep(4.0)
+        return GreedyScheduler().schedule(scenario, rng)
+
+
+@dataclass(frozen=True)
+class PoisonScheduler:
+    """Raises forever on the scenario whose ``gains[0,0,0]`` matches."""
+
+    poison: float
+    name: str = "Poison"
+
+    def schedule(self, scenario, rng):
+        if float(scenario.gains[0, 0, 0]) == self.poison:
+            raise RuntimeError("poisoned seed")
+        return GreedyScheduler().schedule(scenario, rng)
+
+
+@dataclass(frozen=True)
+class AlwaysFailScheduler:
+    name: str = "AlwaysFail"
+
+    def schedule(self, scenario, rng):
+        raise RuntimeError("this scheduler never works")
+
+
+def _poison_value(seed: int) -> float:
+    from repro.sim.scenario import Scenario
+
+    return float(Scenario.build(CONFIG, seed=seed).gains[0, 0, 0])
+
+
+def assert_identical_metrics(a: ExperimentResult, b: ExperimentResult) -> None:
+    assert a.schemes == b.schemes
+    for name in a.schemes:
+        assert len(a.metrics[name]) == len(b.metrics[name])
+        for x, y in zip(a.metrics[name], b.metrics[name]):
+            for fieldname in (f.name for f in dataclasses.fields(type(x))):
+                if fieldname == "wall_time_s":
+                    continue
+                u, v = getattr(x, fieldname), getattr(y, fieldname)
+                if isinstance(u, float) and math.isnan(u):
+                    assert math.isnan(v), (name, fieldname)
+                else:
+                    assert u == v, (name, fieldname, u, v)
+
+
+class TestRetryPolicy:
+    def test_defaults_valid(self):
+        policy = RetryPolicy()
+        assert policy.max_attempts == 3
+        assert policy.serial_fallback
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_attempts": 0},
+            {"seed_timeout_s": 0.0},
+            {"seed_timeout_s": -1.0},
+            {"backoff_s": -0.1},
+            {"backoff_factor": 0.5},
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(**kwargs)
+
+
+class TestResultAccessors:
+    """Satellite: unknown schemes raise a descriptive error, not KeyError."""
+
+    def _result(self):
+        return run_schemes(CONFIG, [GreedyScheduler()], [0, 1])
+
+    def test_unknown_scheme_names_known_ones(self):
+        result = self._result()
+        with pytest.raises(ConfigurationError, match="known schemes: Greedy"):
+            result.utilities("TSAJS")
+
+    @pytest.mark.parametrize(
+        "accessor",
+        [
+            "utilities",
+            "wall_times",
+            "mean_times",
+            "mean_energies",
+            "utility_summary",
+            "wall_time_summary",
+        ],
+    )
+    def test_every_accessor_validates(self, accessor):
+        result = self._result()
+        with pytest.raises(ConfigurationError, match="unknown scheme 'nope'"):
+            getattr(result, accessor)("nope")
+
+    def test_no_keyerror_leaks(self):
+        result = self._result()
+        try:
+            result.utilities("nope")
+        except ConfigurationError:
+            pass
+        else:  # pragma: no cover - the assertion above must fire
+            pytest.fail("expected ConfigurationError")
+
+    def test_empty_result_error_message(self):
+        result = ExperimentResult(config=CONFIG, seeds=[0])
+        with pytest.raises(ConfigurationError, match="none recorded"):
+            result.utilities("Greedy")
+
+    def test_completed_seeds_excludes_failures(self):
+        result = ExperimentResult(config=CONFIG, seeds=[0, 1, 2])
+        result.failures = [SeedFailure(seed=1, attempts=3, error="boom")]
+        assert result.completed_seeds == [0, 2]
+
+
+class TestResilientSerial:
+    def test_resilient_path_matches_legacy(self):
+        schedulers = [GreedyScheduler()]
+        seeds = [0, 1, 2]
+        legacy = run_schemes(CONFIG, schedulers, seeds)
+        resilient = run_schemes(
+            CONFIG, schedulers, seeds, retry=RetryPolicy(backoff_s=0.0)
+        )
+        assert resilient.failures == []
+        assert_identical_metrics(legacy, resilient)
+
+    def test_permanent_failure_recorded_not_fatal(self):
+        # Serial execution would die with the worker on os._exit, so the
+        # serial case uses the exception-based poison scheduler instead.
+        poison = PoisonScheduler(poison=_poison_value(1))
+        result = run_schemes(
+            CONFIG,
+            [poison],
+            [0, 1, 2],
+            retry=RetryPolicy(max_attempts=2, backoff_s=0.0),
+        )
+        assert [f.seed for f in result.failures] == [1]
+        assert result.completed_seeds == [0, 2]
+        assert len(result.metrics["Poison"]) == 2
+        failure = result.failures[0]
+        assert failure.attempts == 2
+        assert "RuntimeError" in failure.error
+
+    def test_all_seeds_failing_raises_solver_error(self):
+        with pytest.raises(SolverError, match="all 2 seeds failed"):
+            run_schemes(
+                CONFIG,
+                [AlwaysFailScheduler()],
+                [0, 1],
+                retry=RetryPolicy(max_attempts=2, backoff_s=0.0),
+            )
+
+    def test_legacy_path_still_fails_fast(self):
+        with pytest.raises(RuntimeError, match="never works"):
+            run_schemes(CONFIG, [AlwaysFailScheduler()], [0, 1])
+
+
+@pytest.mark.slow
+class TestResilientPool:
+    def test_worker_death_degrades_to_serial(self, tmp_path):
+        """A SIGKILL'd worker breaks the pool; the wave retries serially
+        and the final metrics match a crash-free run exactly."""
+        crash_dir = tmp_path / "crash"
+        clean_dir = tmp_path / "clean"
+        crash_dir.mkdir()
+        clean_dir.mkdir()
+        # Pre-crashed marker: this instance never actually crashes.
+        (clean_dir / "crashed").touch()
+
+        seeds = [0, 1]
+        crashed = run_schemes(
+            CONFIG,
+            [CrashOnceScheduler(marker_dir=str(crash_dir))],
+            seeds,
+            n_jobs=2,
+            retry=RetryPolicy(max_attempts=3, backoff_s=0.0),
+        )
+        clean = run_schemes(
+            CONFIG, [CrashOnceScheduler(marker_dir=str(clean_dir))], seeds
+        )
+        assert crashed.failures == []
+        assert crashed.completed_seeds == seeds
+        assert_identical_metrics(clean, crashed)
+
+    def test_hung_worker_trips_timeout_and_recovers(self, tmp_path):
+        seeds = [0, 1]
+        result = run_schemes(
+            CONFIG,
+            [HangOnceScheduler(marker_dir=str(tmp_path))],
+            seeds,
+            n_jobs=2,
+            retry=RetryPolicy(
+                max_attempts=3, seed_timeout_s=0.5, backoff_s=0.0
+            ),
+        )
+        assert result.failures == []
+        assert result.completed_seeds == seeds
+
+    def test_pool_failure_without_fallback_uses_fresh_pool(self, tmp_path):
+        result = run_schemes(
+            CONFIG,
+            [CrashOnceScheduler(marker_dir=str(tmp_path))],
+            [0, 1],
+            n_jobs=2,
+            retry=RetryPolicy(
+                max_attempts=3, backoff_s=0.0, serial_fallback=False
+            ),
+        )
+        assert result.failures == []
+        assert result.completed_seeds == [0, 1]
+
+
+class TestJournalIntegration:
+    def test_journal_records_every_seed(self, tmp_path):
+        journal = SweepJournal(tmp_path / "sweep.jsonl")
+        run_schemes(
+            CONFIG,
+            [GreedyScheduler()],
+            [0, 1, 2],
+            retry=RetryPolicy(backoff_s=0.0),
+            journal=journal,
+        )
+        assert len(journal) == 3
+
+    def test_resume_skips_completed_seeds(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        marker_first = tmp_path / "first"
+        marker_second = tmp_path / "second"
+        marker_first.mkdir()
+        marker_second.mkdir()
+        seeds = [0, 1, 2]
+
+        first = run_schemes(
+            CONFIG,
+            [CountingScheduler(marker_dir=str(marker_first))],
+            seeds,
+            journal=SweepJournal(path),
+        )
+        assert _calls(str(marker_first)) == 3
+
+        # The resumed run must not call the scheduler at all: the digest
+        # depends on the scheduler's state, so it must match the first
+        # run's (same marker dir).
+        resumed = run_schemes(
+            CONFIG,
+            [CountingScheduler(marker_dir=str(marker_first))],
+            seeds,
+            journal=SweepJournal(path, resume=True),
+        )
+        assert _calls(str(marker_first)) == 3
+        assert_identical_metrics(first, resumed)
+
+        # A different scheduler state is a different sweep: full re-run.
+        run_schemes(
+            CONFIG,
+            [CountingScheduler(marker_dir=str(marker_second))],
+            seeds,
+            journal=SweepJournal(path, resume=True),
+        )
+        assert _calls(str(marker_second)) == 3
+
+    def test_interrupted_sweep_resumes_exactly(self, tmp_path):
+        """Acceptance: kill mid-sweep, resume, get identical metrics."""
+        path = tmp_path / "sweep.jsonl"
+        markers = tmp_path / "markers"
+        markers.mkdir()
+        seeds = [0, 1, 2, 3]
+        scheduler = CountingScheduler(marker_dir=str(markers))
+
+        uninterrupted = run_schemes(
+            CONFIG, [scheduler], seeds, journal=SweepJournal(path)
+        )
+        # Simulate a crash after two seeds: drop the tail of the journal
+        # plus tear the final surviving line mid-write.
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:2]) + "\n" + lines[2][: len(lines[2]) // 2])
+
+        before = _calls(str(markers))
+        resumed = run_schemes(
+            CONFIG, [scheduler], seeds, journal=SweepJournal(path, resume=True)
+        )
+        # Exactly the two journaled seeds are skipped (the torn third
+        # record was never acknowledged, so it is recomputed).
+        assert _calls(str(markers)) - before == 2
+        assert_identical_metrics(uninterrupted, resumed)
+
+    def test_runner_object_passthrough(self, tmp_path):
+        journal = SweepJournal(tmp_path / "sweep.jsonl")
+        runner = ExperimentRunner(
+            CONFIG,
+            [GreedyScheduler()],
+            retry=RetryPolicy(backoff_s=0.0),
+            journal=journal,
+        )
+        result = runner.run([0, 1])
+        assert result.failures == []
+        assert len(journal) == 2
+
+    def test_module_default_journal_installed_and_cleared(self, tmp_path):
+        journal = SweepJournal(tmp_path / "sweep.jsonl")
+        set_default_journal(journal)
+        assert get_default_journal() is journal
+        run_schemes(CONFIG, [GreedyScheduler()], [0])
+        assert len(journal) == 1
+        set_default_journal(None)
+        assert get_default_journal() is None
+
+    def test_failed_seed_never_journaled(self, tmp_path):
+        journal = SweepJournal(tmp_path / "sweep.jsonl")
+        poison = PoisonScheduler(poison=_poison_value(1))
+        result = run_schemes(
+            CONFIG,
+            [poison],
+            [0, 1],
+            retry=RetryPolicy(max_attempts=2, backoff_s=0.0),
+            journal=journal,
+        )
+        assert [f.seed for f in result.failures] == [1]
+        assert len(journal) == 1

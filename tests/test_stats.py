@@ -63,6 +63,33 @@ class TestSummarize:
         with pytest.raises(ConfigurationError):
             summarize([1.0, 2.0], confidence=confidence)
 
+    @pytest.mark.parametrize(
+        "bad", [float("nan"), float("inf"), float("-inf")]
+    )
+    def test_rejects_non_finite_samples(self, bad):
+        with pytest.raises(ConfigurationError, match="non-finite"):
+            summarize([1.0, bad, 3.0])
+
+    def test_non_finite_error_counts_offenders(self):
+        with pytest.raises(ConfigurationError, match="2 of 4"):
+            summarize([float("nan"), 1.0, float("inf"), 2.0])
+
+    def test_rejects_all_nan(self):
+        with pytest.raises(ConfigurationError):
+            summarize([float("nan")])
+
+    def test_two_samples_smallest_t_interval(self):
+        # n=2 is the smallest sample with a proper t interval (df=1).
+        stats = summarize([1.0, 3.0])
+        assert stats.n == 2
+        assert stats.mean == 2.0
+        assert np.isfinite(stats.ci_halfwidth) and stats.ci_halfwidth > 0.0
+
+    def test_huge_magnitudes_stay_finite(self):
+        stats = summarize([1e100, 1e100, 1e100])
+        assert stats.mean == pytest.approx(1e100)
+        assert stats.ci_halfwidth == 0.0
+
     def test_accepts_generators(self):
         stats = summarize(float(x) for x in range(10))
         assert stats.n == 10
