@@ -14,11 +14,11 @@ a free-slot bookkeeping array, so no infeasible branch is ever expanded.
 
 from __future__ import annotations
 
-import time
 from typing import Callable, Optional
 
 import numpy as np
 
+from repro.obs.clock import Stopwatch
 from repro.core.allocation import kkt_allocation
 from repro.core.decision import LOCAL, OffloadingDecision
 from repro.core.objective import ObjectiveEvaluator
@@ -61,7 +61,7 @@ class ExhaustiveScheduler:
         search is deterministic.
         """
         del rng
-        start = time.perf_counter()
+        watch = Stopwatch()
         evaluator = self.evaluator_factory(scenario)
         n_users = scenario.n_users
         n_servers = scenario.n_servers
@@ -115,5 +115,5 @@ class ExhaustiveScheduler:
             allocation=allocation,
             utility=float(best_value),
             evaluations=evaluator.evaluations,
-            wall_time_s=time.perf_counter() - start,
+            wall_time_s=watch.elapsed(),
         )

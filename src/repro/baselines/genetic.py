@@ -19,11 +19,11 @@ against a population-based search under the identical objective:
 
 from __future__ import annotations
 
-import time
 from typing import Callable, List, Optional, TYPE_CHECKING
 
 import numpy as np
 
+from repro.obs.clock import Stopwatch
 from repro.core.allocation import kkt_allocation
 from repro.core.decision import LOCAL, OffloadingDecision
 from repro.core.neighborhood import NeighborhoodSampler
@@ -139,7 +139,7 @@ class GeneticScheduler:
     ) -> ScheduleResult:
         """Evolve a population of decisions; return the fittest found."""
         rng = rng if rng is not None else make_rng()
-        start = time.perf_counter()
+        watch = Stopwatch()
         evaluator = self.evaluator_factory(scenario)
 
         if scenario.n_users == 0:
@@ -151,7 +151,7 @@ class GeneticScheduler:
                 allocation=kkt_allocation(scenario, empty),
                 utility=evaluator.evaluate(empty),
                 evaluations=evaluator.evaluations,
-                wall_time_s=time.perf_counter() - start,
+                wall_time_s=watch.elapsed(),
             )
 
         population = [
@@ -200,5 +200,5 @@ class GeneticScheduler:
             allocation=kkt_allocation(scenario, best),
             utility=float(best_value),
             evaluations=evaluator.evaluations,
-            wall_time_s=time.perf_counter() - start,
+            wall_time_s=watch.elapsed(),
         )

@@ -16,11 +16,11 @@ behind further once users contend for slots (Fig. 4).
 
 from __future__ import annotations
 
-import time
 from typing import Callable, Optional
 
 import numpy as np
 
+from repro.obs.clock import Stopwatch
 from repro.core.allocation import kkt_allocation
 from repro.core.decision import LOCAL, OffloadingDecision
 from repro.core.objective import ObjectiveEvaluator
@@ -47,7 +47,7 @@ class GreedyScheduler:
     ) -> ScheduleResult:
         """Assign users to slots by descending signal strength."""
         del rng
-        start = time.perf_counter()
+        watch = Stopwatch()
         evaluator = self.evaluator_factory(scenario)
         decision = OffloadingDecision.all_local(
             scenario.n_users, scenario.n_servers, scenario.n_subbands
@@ -89,5 +89,5 @@ class GreedyScheduler:
             allocation=allocation,
             utility=utility,
             evaluations=evaluator.evaluations,
-            wall_time_s=time.perf_counter() - start,
+            wall_time_s=watch.elapsed(),
         )

@@ -18,11 +18,11 @@ sub-channel count than Greedy/LocalSearch (Fig. 8).
 
 from __future__ import annotations
 
-import time
 from typing import Callable, Optional
 
 import numpy as np
 
+from repro.obs.clock import Stopwatch
 from repro.core.allocation import kkt_allocation
 from repro.core.decision import LOCAL, OffloadingDecision
 from repro.core.objective import ObjectiveEvaluator
@@ -63,7 +63,7 @@ class HJtoraScheduler:
     ) -> ScheduleResult:
         """Run hJTORA on ``scenario``; deterministic, ``rng`` ignored."""
         del rng
-        start = time.perf_counter()
+        watch = Stopwatch()
         evaluator = self.evaluator_factory(scenario)
         n_users = scenario.n_users
         n_servers = scenario.n_servers
@@ -118,5 +118,5 @@ class HJtoraScheduler:
             allocation=allocation,
             utility=utility,
             evaluations=evaluator.evaluations,
-            wall_time_s=time.perf_counter() - start,
+            wall_time_s=watch.elapsed(),
         )

@@ -14,11 +14,11 @@ a lower utility (Fig. 3).
 
 from __future__ import annotations
 
-import time
 from typing import Callable, Optional
 
 import numpy as np
 
+from repro.obs.clock import Stopwatch
 from repro.core.allocation import kkt_allocation
 from repro.core.decision import OffloadingDecision
 from repro.core.neighborhood import NeighborhoodSampler
@@ -84,7 +84,7 @@ class LocalSearchScheduler:
     ) -> ScheduleResult:
         """First-improvement hill climbing from a random feasible start."""
         rng = rng if rng is not None else make_rng()
-        start = time.perf_counter()
+        watch = Stopwatch()
         evaluator = self.evaluator_factory(scenario)
 
         if scenario.n_users == 0:
@@ -96,7 +96,7 @@ class LocalSearchScheduler:
                 allocation=kkt_allocation(scenario, empty),
                 utility=evaluator.evaluate(empty),
                 evaluations=evaluator.evaluations,
-                wall_time_s=time.perf_counter() - start,
+                wall_time_s=watch.elapsed(),
             )
 
         current = OffloadingDecision.random_feasible(
@@ -132,5 +132,5 @@ class LocalSearchScheduler:
             allocation=allocation,
             utility=current_value,
             evaluations=evaluator.evaluations,
-            wall_time_s=time.perf_counter() - start,
+            wall_time_s=watch.elapsed(),
         )

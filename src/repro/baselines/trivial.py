@@ -8,11 +8,11 @@ ablation benches use them as floors.
 
 from __future__ import annotations
 
-import time
 from typing import Optional
 
 import numpy as np
 
+from repro.obs.clock import Stopwatch
 from repro.core.allocation import kkt_allocation
 from repro.core.decision import OffloadingDecision
 from repro.core.objective import ObjectiveEvaluator
@@ -34,7 +34,7 @@ class AllLocalScheduler:
         self, scenario: "Scenario", rng: Optional[np.random.Generator] = None
     ) -> ScheduleResult:
         del rng
-        start = time.perf_counter()
+        watch = Stopwatch()
         evaluator = ObjectiveEvaluator(scenario)
         decision = OffloadingDecision.all_local(
             scenario.n_users, scenario.n_servers, scenario.n_subbands
@@ -45,7 +45,7 @@ class AllLocalScheduler:
             allocation=kkt_allocation(scenario, decision),
             utility=utility,
             evaluations=evaluator.evaluations,
-            wall_time_s=time.perf_counter() - start,
+            wall_time_s=watch.elapsed(),
         )
 
 
@@ -68,7 +68,7 @@ class RandomScheduler:
         self, scenario: "Scenario", rng: Optional[np.random.Generator] = None
     ) -> ScheduleResult:
         rng = rng if rng is not None else make_rng()
-        start = time.perf_counter()
+        watch = Stopwatch()
         evaluator = ObjectiveEvaluator(scenario)
         best = None
         best_value = -np.inf
@@ -89,5 +89,5 @@ class RandomScheduler:
             allocation=kkt_allocation(scenario, best),
             utility=float(best_value),
             evaluations=evaluator.evaluations,
-            wall_time_s=time.perf_counter() - start,
+            wall_time_s=watch.elapsed(),
         )

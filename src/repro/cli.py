@@ -24,6 +24,17 @@ Sub-commands
 ``tsajs lint [PATHS ...] [--format text|json] [--rules R001,...]``
     Run the project's static-analysis rules (determinism, unit
     discipline, paper-equation traceability); exits 1 on findings.
+``tsajs trace record --out FILE [instance options]``
+    Solve one instance with tracing on and write the schema-v1 JSONL
+    span/event trace (see ``docs/observability.md``).
+``tsajs trace show FILE [--convergence]``
+    Validate and summarise a recorded trace; ``--convergence`` rebuilds
+    the annealer's convergence profile from its ``anneal.level`` events.
+
+Observability flags: ``solve --trace FILE`` records the solve,
+``run --telemetry DIR`` writes ``trace.jsonl`` + ``metrics.json`` for a
+whole experiment, and ``run --profile`` adds per-seed cProfile hotspot
+sidecars.
 """
 
 from __future__ import annotations
@@ -114,6 +125,22 @@ def _build_parser() -> argparse.ArgumentParser:
             "retry it (parallel runs only)"
         ),
     )
+    run_parser.add_argument(
+        "--telemetry",
+        metavar="DIR",
+        help=(
+            "record a schema-v1 span/event trace (trace.jsonl) and a "
+            "metrics snapshot (metrics.json) into DIR"
+        ),
+    )
+    run_parser.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "capture a cProfile hotspot summary per seed into the "
+            "--telemetry directory (requires --telemetry)"
+        ),
+    )
 
     solve_parser = sub.add_parser("solve", help="solve one random instance")
     solve_parser.add_argument("--users", type=int, default=20)
@@ -143,8 +170,59 @@ def _build_parser() -> argparse.ArgumentParser:
             "bit-identical results, lower wall-clock time"
         ),
     )
+    solve_parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="record a schema-v1 span/event trace of the solve to FILE",
+    )
+    solve_parser.add_argument(
+        "--trace-iterations",
+        action="store_true",
+        help=(
+            "include one anneal.step event per proposal in the trace "
+            "(orders of magnitude more lines; requires --trace)"
+        ),
+    )
 
     sub.add_parser("schemes", help="list available scheduling schemes")
+
+    trace_parser = sub.add_parser(
+        "trace", help="record or inspect observability traces"
+    )
+    trace_sub = trace_parser.add_subparsers(dest="trace_command", required=True)
+    trace_record = trace_sub.add_parser(
+        "record", help="solve one instance with tracing on"
+    )
+    trace_record.add_argument("--out", required=True, metavar="FILE")
+    trace_record.add_argument("--users", type=int, default=20)
+    trace_record.add_argument("--servers", type=int, default=9)
+    trace_record.add_argument("--subbands", type=int, default=3)
+    trace_record.add_argument("--seed", type=int, default=0)
+    trace_record.add_argument("--schemes", default="TSAJS")
+    trace_record.add_argument(
+        "--quick",
+        action="store_true",
+        help="stop the annealer early (T_min = 1e-2)",
+    )
+    trace_record.add_argument(
+        "--delta",
+        action="store_true",
+        help="use the incremental (delta) evaluator",
+    )
+    trace_record.add_argument(
+        "--iterations",
+        action="store_true",
+        help="include per-proposal anneal.step events",
+    )
+    trace_show = trace_sub.add_parser(
+        "show", help="validate and summarise a recorded trace"
+    )
+    trace_show.add_argument("file", metavar="FILE")
+    trace_show.add_argument(
+        "--convergence",
+        action="store_true",
+        help="rebuild the convergence profile from anneal.level events",
+    )
 
     lint_parser = sub.add_parser(
         "lint", help="run the project-specific static-analysis rules"
@@ -234,10 +312,63 @@ def _cmd_run(
     resume: bool = False,
     retries: Optional[int] = None,
     seed_timeout: Optional[float] = None,
+    telemetry: Optional[str] = None,
+    profile: bool = False,
 ) -> int:
     if resume and journal_path is None:
         print("error: --resume requires --journal FILE", file=sys.stderr)
         return 2
+    if profile and telemetry is None:
+        print("error: --profile requires --telemetry DIR", file=sys.stderr)
+        return 2
+    if telemetry is not None:
+        import json as json_module
+        from pathlib import Path
+
+        from repro.obs.profile import set_profiling
+        from repro.obs.recorder import set_recorder
+        from repro.obs.trace import TraceRecorder
+
+        telemetry_dir = Path(telemetry)
+        recorder = TraceRecorder(telemetry_dir / "trace.jsonl")
+        set_recorder(recorder)
+        if profile:
+            set_profiling(telemetry_dir)
+        try:
+            status = _cmd_run_body(
+                experiment_id, quick, out, json_out, workers,
+                journal_path, resume, retries, seed_timeout,
+            )
+        finally:
+            set_recorder(None)
+            if profile:
+                set_profiling(None)
+            recorder.close()
+        with open(telemetry_dir / "metrics.json", "w", encoding="utf-8") as handle:
+            json_module.dump(recorder.snapshot(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(
+            f"[telemetry: {recorder.n_records} trace records and a metrics "
+            f"snapshot written to {telemetry_dir}]"
+        )
+        return status
+    return _cmd_run_body(
+        experiment_id, quick, out, json_out, workers,
+        journal_path, resume, retries, seed_timeout,
+    )
+
+
+def _cmd_run_body(
+    experiment_id: str,
+    quick: bool,
+    out: Optional[str],
+    json_out: Optional[str],
+    workers: int = 1,
+    journal_path: Optional[str] = None,
+    resume: bool = False,
+    retries: Optional[int] = None,
+    seed_timeout: Optional[float] = None,
+) -> int:
     if workers != 1:
         from repro.sim.runner import set_default_n_workers
 
@@ -281,6 +412,24 @@ def _cmd_schemes() -> int:
 
 
 def _cmd_solve(args: argparse.Namespace) -> int:
+    if args.trace_iterations and not args.trace:
+        print("error: --trace-iterations requires --trace FILE", file=sys.stderr)
+        return 2
+    if args.trace:
+        from repro.obs.recorder import use_recorder
+        from repro.obs.trace import TraceRecorder
+
+        recorder = TraceRecorder(
+            args.trace, iteration_detail=args.trace_iterations
+        )
+        with recorder, use_recorder(recorder):
+            status = _cmd_solve_body(args)
+        print(f"[trace: {recorder.n_records} records written to {args.trace}]")
+        return status
+    return _cmd_solve_body(args)
+
+
+def _cmd_solve_body(args: argparse.Namespace) -> int:
     from repro.experiments.schemes import build_schemes
 
     config = SimulationConfig(
@@ -306,6 +455,87 @@ def _cmd_solve(args: argparse.Namespace) -> int:
             f"offloaded={result.decision.n_offloaded():3d}/{args.users:<3d} "
             f"time={result.wall_time_s:7.3f}s"
         )
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    if args.trace_command == "record":
+        return _cmd_trace_record(args)
+    return _cmd_trace_show(args)
+
+
+def _cmd_trace_record(args: argparse.Namespace) -> int:
+    from repro.experiments.schemes import build_schemes
+    from repro.obs.recorder import use_recorder
+    from repro.obs.trace import TraceRecorder
+
+    config = SimulationConfig(
+        n_users=args.users,
+        n_servers=args.servers,
+        n_subbands=args.subbands,
+        use_delta=args.delta,
+    )
+    scenario = Scenario.build(config, seed=args.seed)
+    names = [name.strip() for name in args.schemes.split(",") if name.strip()]
+    schedulers = build_schemes(names, quick=args.quick, use_delta=args.delta)
+    recorder = TraceRecorder(args.out, iteration_detail=args.iterations)
+    with recorder, use_recorder(recorder):
+        for index, scheduler in enumerate(schedulers):
+            rng = child_rng(args.seed, 100 + index)
+            result = scheduler.schedule(scenario, rng)
+            print(
+                f"{scheduler.name:12s} utility={result.utility:10.4f} "
+                f"evaluations={result.evaluations}"
+            )
+    print(f"[trace: {recorder.n_records} records written to {args.out}]")
+    return 0
+
+
+def _cmd_trace_show(args: argparse.Namespace) -> int:
+    from collections import Counter
+
+    from repro.errors import ReproError
+    from repro.obs.schema import span_pairs_balanced
+    from repro.obs.trace import read_trace
+
+    try:
+        records = read_trace(args.file)
+    except (OSError, ReproError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    counts = Counter(
+        (record["kind"], record["name"]) for record in records
+    )
+    print(f"{args.file}: {len(records)} records, schema v1, all valid")
+    print(f"spans balanced: {'yes' if span_pairs_balanced(records) else 'NO'}")
+    print(f"{'kind':>10} {'name':24} {'count':>7}")
+    for (kind, name), count in sorted(counts.items()):
+        print(f"{kind:>10} {name:24} {count:>7}")
+    if args.convergence:
+        from repro.analysis.convergence import (
+            ascii_sparkline,
+            best_traces_from_records,
+            summarize_trace_records,
+        )
+
+        traces = best_traces_from_records(records)
+        if not traces:
+            print(
+                "error: no anneal.level events in this trace "
+                "(record one from an annealing scheduler)",
+                file=sys.stderr,
+            )
+            return 1
+        for index, trace in enumerate(traces):
+            report = summarize_trace_records(records, run_index=index)
+            print(
+                f"\nannealing run {index}: final={report.final_value:.4f} "
+                f"levels={report.levels} to90={report.levels_to_90} "
+                f"to99={report.levels_to_99} auc={report.normalized_auc:.3f}"
+            )
+            finite = [value for value in trace if value > float("-inf")]
+            if finite:
+                print(ascii_sparkline(finite, width=min(len(finite), 60)))
     return 0
 
 
@@ -426,11 +656,15 @@ def main(argv: Optional[List[str]] = None) -> int:
             resume=args.resume,
             retries=args.retries,
             seed_timeout=args.seed_timeout,
+            telemetry=args.telemetry,
+            profile=args.profile,
         )
     if args.command == "solve":
         return _cmd_solve(args)
     if args.command == "schemes":
         return _cmd_schemes()
+    if args.command == "trace":
+        return _cmd_trace(args)
     if args.command == "episode":
         return _cmd_episode(args)
     if args.command == "faults":

@@ -29,6 +29,7 @@ from typing import Callable, Generic, List, Optional, Tuple, TypeVar
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.obs.recorder import Recorder, get_recorder
 
 State = TypeVar("State")
 
@@ -132,6 +133,7 @@ class ThresholdTriggeredAnnealer:
         move_objective: Optional[
             Callable[[State, Tuple[int, ...]], float]
         ] = None,
+        recorder: Optional[Recorder] = None,
     ) -> AnnealingResult[State]:
         """Maximise ``objective`` from ``initial_state``.
 
@@ -140,6 +142,17 @@ class ThresholdTriggeredAnnealer:
         default_initial_temperature:
             Used when the schedule leaves ``initial_temperature`` unset;
             TSAJS passes the sub-channel count ``N`` here (Alg. 1 line 3).
+        recorder:
+            Observability sink (defaults to the process-level recorder).
+            When enabled, the run emits one ``anneal.level`` event per
+            temperature level (temperature, best/current value, accepted
+            and accepted-worse counters) and an ``anneal.phase_switch``
+            event at every end-of-chain check where the accepted-worse
+            count has reached ``maxCount = threshold_factor * L``
+            (Algorithm 2's trigger); with ``iteration_detail`` set it
+            additionally emits one ``anneal.step`` event per proposal.
+            Emission never touches the RNG stream, so traced and
+            untraced runs walk bitwise-identical trajectories.
         propose_move, move_objective:
             Optional *delta-evaluation* pair (pass both or neither).
             ``propose_move`` returns ``(candidate, touched)`` and
@@ -169,6 +182,10 @@ class ThresholdTriggeredAnnealer:
                 f"{sched.min_temperature}"
             )
 
+        rec = recorder if recorder is not None else get_recorder()
+        tracing = rec.enabled
+        step_events = tracing and rec.iteration_detail
+
         current = initial_state
         current_value = objective(current)
         best = current
@@ -177,6 +194,9 @@ class ThresholdTriggeredAnnealer:
         accepted_moves = 0
         iterations = 0
         fast_coolings = 0
+        level = 0
+        prev_accepted = 0
+        prev_worse = 0
         # Touched set of the last *rejected* candidate: the delta cache
         # still reflects that candidate, so the next evaluation must
         # also cover its users to diff back correctly.
@@ -188,8 +208,21 @@ class ThresholdTriggeredAnnealer:
             fast_coolings=0,
         )
 
+        run_span = rec.span(
+            "anneal.run",
+            initial_temperature=temperature,
+            min_temperature=sched.min_temperature,
+            chain_length=sched.chain_length,
+            max_count=sched.max_count,
+            alpha_slow=sched.alpha_slow,
+            alpha_fast=sched.alpha_fast,
+            delta_mode=delta_mode,
+        )
         while temperature > sched.min_temperature:
             for _ in range(sched.chain_length):
+                if step_events:
+                    prev_accepted = accepted_moves
+                    prev_worse = accepted_worse
                 iterations += 1
                 if delta_mode:
                     candidate, touched = propose_move(current, rng)
@@ -215,15 +248,59 @@ class ThresholdTriggeredAnnealer:
                         carry = ()
                     else:
                         carry = touched
+                if step_events:
+                    rec.event(
+                        "anneal.step",
+                        iteration=iterations,
+                        temperature=temperature,
+                        delta=float(delta),
+                        accepted=accepted_moves != prev_accepted,
+                        worse=accepted_worse != prev_worse,
+                        accepted_worse=accepted_worse,
+                    )
             if record_trace:
                 result.temperature_trace.append(temperature)
                 result.best_trace.append(best_value)
+            if tracing:
+                rec.event(
+                    "anneal.level",
+                    level=level,
+                    temperature=temperature,
+                    best=float(best_value),
+                    current=float(current_value),
+                    accepted_moves=accepted_moves,
+                    accepted_worse=accepted_worse,
+                    iterations=iterations,
+                )
             if accepted_worse < sched.max_count:
                 temperature *= sched.alpha_slow
             else:
+                # Algorithm 2's trigger: the accepted-worse count reached
+                # maxCount at an end-of-chain check, so the schedule
+                # switches to one fast cooling step (alpha_fast).
+                if tracing:
+                    rec.event(
+                        "anneal.phase_switch",
+                        level=level,
+                        temperature=temperature,
+                        accepted_worse=accepted_worse,
+                        max_count=sched.max_count,
+                        fast_coolings=fast_coolings + 1,
+                    )
                 temperature *= sched.alpha_fast
                 fast_coolings += 1
                 accepted_worse = 0
+            level += 1
+        if tracing:
+            rec.event(
+                "anneal.finish",
+                levels=level,
+                iterations=iterations,
+                accepted_moves=accepted_moves,
+                fast_coolings=fast_coolings,
+                best=float(best_value),
+            )
+        run_span.__exit__(None, None, None)
 
         result.best_state = best
         result.best_value = best_value

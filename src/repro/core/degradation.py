@@ -21,7 +21,6 @@ free of simulation-layer imports.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, List, Optional, Tuple
 
@@ -34,6 +33,8 @@ from repro.core.neighborhood import NeighborhoodSampler
 from repro.core.objective import ObjectiveEvaluator
 from repro.core.scheduler import ScheduleResult, TsajsScheduler
 from repro.errors import ConfigurationError
+from repro.obs.clock import Stopwatch
+from repro.obs.recorder import get_recorder
 
 if TYPE_CHECKING:  # pragma: no cover - type-only imports
     from repro.faults.models import FaultSet
@@ -304,8 +305,17 @@ def degrade(
             f"unknown degradation policy {policy!r}; choose one of "
             f"{', '.join(DEGRADATION_POLICIES)}"
         )
-    start = time.perf_counter()
+    rec = get_recorder()
+    watch = Stopwatch()
+    degrade_span = rec.span("degrade.run", policy=policy)
     repaired, n_fallback, n_churned = fallback_decision(planned.decision, faults)
+    if rec.enabled:
+        rec.event(
+            "degrade.fallback",
+            policy=policy,
+            n_fallback=n_fallback,
+            n_churned=n_churned,
+        )
     evaluator = ObjectiveEvaluator(scenario)
 
     if policy == "reschedule":
@@ -346,11 +356,22 @@ def degrade(
         final_decision = repaired
         allocation = kkt_allocation(scenario, final_decision)
 
-    elapsed = time.perf_counter() - start
+    elapsed = watch.elapsed()
     if planned.utility > 0.0:
         retention = degraded_utility / planned.utility
     else:
         retention = 1.0
+    if rec.enabled:
+        rec.event(
+            "degrade.result",
+            policy=policy,
+            degraded_utility=float(degraded_utility),
+            utility_retention=float(retention),
+            n_fallback=n_fallback,
+            n_churned=n_churned,
+            evaluations=evaluations,
+        )
+    degrade_span.__exit__(None, None, None)
     result = ScheduleResult(
         decision=final_decision,
         allocation=allocation,

@@ -81,6 +81,13 @@ class DeltaEvaluator(ObjectiveEvaluator):
 
     def __init__(self, scenario: "Scenario") -> None:
         super().__init__(scenario)
+        #: Incremental (touched-set) evaluations vs O(U) vector-diff ones;
+        #: plain int telemetry read by the scheduler's observability event
+        #: (``fast_evals + full_evals == evaluations`` at all times).
+        #: Kept as direct attribute increments — not recorder calls — so
+        #: the annealer's inner loop pays nothing for the bookkeeping.
+        self.fast_evals = 0
+        self.full_evals = 0
         # Python-native copies of the constants read per move: list
         # indexing returns ready-made floats, numpy scalar indexing
         # allocates a wrapper object each time.  float() is exact, so
@@ -137,6 +144,7 @@ class DeltaEvaluator(ObjectiveEvaluator):
         self.evaluations += 1
         server_list, channel_list = self._server_list, self._channel_list
         if touched is None:
+            self.full_evals += 1
             server = np.asarray(server_of_user)
             channel = np.asarray(channel_of_user)
             diff = np.flatnonzero(
@@ -147,6 +155,7 @@ class DeltaEvaluator(ObjectiveEvaluator):
                 (int(u), int(server[u]), int(channel[u])) for u in diff
             ]
         else:
+            self.fast_evals += 1
             server, channel = server_of_user, channel_of_user
             changed = []
             seen: List[int] = []
@@ -170,6 +179,7 @@ class DeltaEvaluator(ObjectiveEvaluator):
         # annealer's per-proposal call, where even argument re-dispatch
         # shows up in the profile.
         self.evaluations += 1
+        self.fast_evals += 1
         server = decision.server
         channel = decision.channel
         server_list, channel_list = self._server_list, self._channel_list

@@ -16,7 +16,6 @@ computing-resource allocation ``F`` and the achieved utility ``J``.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Protocol, runtime_checkable
 
@@ -29,6 +28,8 @@ from repro.core.delta import DeltaEvaluator
 from repro.core.neighborhood import NeighborhoodSampler
 from repro.core.objective import ObjectiveEvaluator
 from repro.errors import ConfigurationError
+from repro.obs.clock import Stopwatch
+from repro.obs.recorder import get_recorder
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - type-only import
@@ -158,71 +159,95 @@ class TsajsScheduler:
         from repro.sim.rng import make_rng
 
         rng = rng if rng is not None else make_rng()
-        start = time.perf_counter()
-        evaluator = self.evaluator_factory(scenario)
+        rec = get_recorder()
+        watch = Stopwatch()
+        with rec.span(
+            "scheduler.schedule",
+            scheme=self.name,
+            n_users=scenario.n_users,
+            n_servers=scenario.n_servers,
+            n_subbands=scenario.n_subbands,
+            use_delta=self.use_delta,
+            warm_start=initial is not None,
+        ):
+            evaluator = self.evaluator_factory(scenario)
 
-        if scenario.n_users == 0:
-            # Degenerate instance: the only decision is the empty one.
-            empty = OffloadingDecision.all_local(
-                0, scenario.n_servers, scenario.n_subbands
-            )
-            return ScheduleResult(
-                decision=empty,
-                allocation=kkt_allocation(scenario, empty),
-                utility=evaluator.evaluate(empty),
-                evaluations=evaluator.evaluations,
-                wall_time_s=time.perf_counter() - start,
-            )
-
-        if initial is None:
-            initial = OffloadingDecision.random_feasible(
-                scenario.n_users,
-                scenario.n_servers,
-                scenario.n_subbands,
-                rng,
-                offload_probability=self.initial_offload_probability,
-            )
-        else:
-            initial = initial.copy()
-        annealer = ThresholdTriggeredAnnealer(self.schedule_params)
-        delta_kwargs: Dict[str, Any] = {}
-        if self.use_delta:
-            if not hasattr(evaluator, "evaluate_move"):
-                raise ConfigurationError(
-                    "use_delta=True needs an evaluator with evaluate_move "
-                    f"(got {type(evaluator).__name__}); use DeltaEvaluator "
-                    "or a subclass as the evaluator_factory"
+            if scenario.n_users == 0:
+                # Degenerate instance: the only decision is the empty one.
+                empty = OffloadingDecision.all_local(
+                    0, scenario.n_servers, scenario.n_subbands
                 )
-            delta_kwargs = dict(
-                propose_move=self.neighborhood.propose_move,
-                move_objective=evaluator.evaluate_move,
-            )
-        outcome = annealer.run(
-            initial_state=initial,
-            objective=evaluator.evaluate,
-            propose=self.neighborhood.propose,
-            rng=rng,
-            default_initial_temperature=float(scenario.n_subbands),
-            record_trace=self.record_trace,
-            **delta_kwargs,
-        )
+                return ScheduleResult(
+                    decision=empty,
+                    allocation=kkt_allocation(scenario, empty),
+                    utility=evaluator.evaluate(empty),
+                    evaluations=evaluator.evaluations,
+                    wall_time_s=watch.elapsed(),
+                )
 
-        best = outcome.best_state
-        # An empty offload set scores 0; never return a negative-utility
-        # plan when staying local is available (users only offload when
-        # the benefit is positive, Sec. III-A-4).
-        if outcome.best_value < 0.0:
-            best = OffloadingDecision.all_local(
-                scenario.n_users, scenario.n_servers, scenario.n_subbands
+            if initial is None:
+                initial = OffloadingDecision.random_feasible(
+                    scenario.n_users,
+                    scenario.n_servers,
+                    scenario.n_subbands,
+                    rng,
+                    offload_probability=self.initial_offload_probability,
+                )
+            else:
+                initial = initial.copy()
+            annealer = ThresholdTriggeredAnnealer(self.schedule_params)
+            delta_kwargs: Dict[str, Any] = {}
+            if self.use_delta:
+                if not hasattr(evaluator, "evaluate_move"):
+                    raise ConfigurationError(
+                        "use_delta=True needs an evaluator with evaluate_move "
+                        f"(got {type(evaluator).__name__}); use DeltaEvaluator "
+                        "or a subclass as the evaluator_factory"
+                    )
+                delta_kwargs = dict(
+                    propose_move=self.neighborhood.propose_move,
+                    move_objective=evaluator.evaluate_move,
+                )
+            outcome = annealer.run(
+                initial_state=initial,
+                objective=evaluator.evaluate,
+                propose=self.neighborhood.propose,
+                rng=rng,
+                default_initial_temperature=float(scenario.n_subbands),
+                record_trace=self.record_trace,
+                recorder=rec,
+                **delta_kwargs,
             )
-        utility = evaluator.evaluate(best)
-        allocation = kkt_allocation(scenario, best)
-        return ScheduleResult(
-            decision=best,
-            allocation=allocation,
-            utility=utility,
-            evaluations=evaluator.evaluations,
-            wall_time_s=time.perf_counter() - start,
-            trace=list(outcome.best_trace),
-            accepted_moves=outcome.accepted_moves,
-        )
+
+            best = outcome.best_state
+            # An empty offload set scores 0; never return a negative-utility
+            # plan when staying local is available (users only offload when
+            # the benefit is positive, Sec. III-A-4).
+            if outcome.best_value < 0.0:
+                best = OffloadingDecision.all_local(
+                    scenario.n_users, scenario.n_servers, scenario.n_subbands
+                )
+            utility = evaluator.evaluate(best)
+            allocation = kkt_allocation(scenario, best)
+            if rec.enabled:
+                fast_evals = int(getattr(evaluator, "fast_evals", 0))
+                rec.event(
+                    "scheduler.result",
+                    scheme=self.name,
+                    utility=float(utility),
+                    evaluations=evaluator.evaluations,
+                    fast_evals=fast_evals,
+                    full_evals=evaluator.evaluations - fast_evals,
+                    accepted_moves=outcome.accepted_moves,
+                    fast_coolings=outcome.fast_coolings,
+                    n_offloaded=int(best.n_offloaded()),
+                )
+            return ScheduleResult(
+                decision=best,
+                allocation=allocation,
+                utility=utility,
+                evaluations=evaluator.evaluations,
+                wall_time_s=watch.elapsed(),
+                trace=list(outcome.best_trace),
+                accepted_moves=outcome.accepted_moves,
+            )

@@ -10,6 +10,13 @@ increases more significantly, while the average computation time of the
 LocalSearch and Greedy schemes remains relatively stable."  hJTORA's
 steepest-ascent rounds each scan all U*S*N single-user moves, so its cost
 scales directly with N; LocalSearch and Greedy use a fixed search budget.
+
+The wall times plotted here originate in the schedulers themselves, which
+time their runs with :class:`repro.obs.clock.Stopwatch` (the repo-wide
+clock seam) rather than ad-hoc ``time.perf_counter()`` calls; this module
+only aggregates them.  Under ``tsajs run --telemetry`` each sweep point
+additionally opens an ``experiment.point`` span, so a trace shows where a
+slow sweep spends its time.
 """
 
 from __future__ import annotations
@@ -19,6 +26,7 @@ from typing import List, Sequence
 
 from repro.experiments.common import default_seeds, standard_schedulers
 from repro.experiments.report import ExperimentOutput, format_stat
+from repro.obs.recorder import get_recorder
 from repro.sim.config import SimulationConfig
 from repro.sim.runner import run_schemes
 
@@ -48,6 +56,7 @@ class Fig8Settings:
 def run(settings: Fig8Settings = Fig8Settings()) -> ExperimentOutput:
     """Average scheduling wall time per scheme over the sub-channel sweep."""
     seeds = default_seeds(settings.n_seeds)
+    rec = get_recorder()
     headers: List[str] = ["L", "N"]
     rows: List[List[str]] = []
     raw: dict = {"panels": []}
@@ -72,7 +81,13 @@ def run(settings: Fig8Settings = Fig8Settings()) -> ExperimentOutput:
                 n_subbands=n_subbands,
                 workload_megacycles=settings.workload_megacycles,
             )
-            result = run_schemes(config, schedulers, seeds)
+            with rec.span(
+                "experiment.point",
+                experiment="fig8",
+                chain_length=chain_length,
+                n_subbands=n_subbands,
+            ):
+                result = run_schemes(config, schedulers, seeds)
             row = [str(chain_length), str(n_subbands)]
             for name in names:
                 stat = result.wall_time_summary(name)

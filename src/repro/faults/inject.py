@@ -26,6 +26,7 @@ import dataclasses
 from repro.core.scheduler import ScheduleResult
 from repro.faults.models import OUTAGE_CAPACITY_HZ, OUTAGE_GAIN_FACTOR, FaultSet
 from repro.errors import ConfigurationError
+from repro.obs.recorder import get_recorder
 from repro.sim.metrics import SolutionMetrics, solution_metrics
 from repro.sim.scenario import Scenario
 from repro.tasks.server import MecServer
@@ -47,7 +48,20 @@ def apply_faults(scenario: Scenario, faults: FaultSet) -> Scenario:
             f"({scenario.n_servers}, {scenario.n_subbands})"
         )
     if faults.is_empty:
+        # No event on the empty path: injection is the identity here and
+        # the fault-free trace must not mention faults at all.
         return scenario
+
+    rec = get_recorder()
+    if rec.enabled:
+        rec.event(
+            "faults.injected",
+            n_failed_servers=len(faults.failed_servers),
+            n_degraded_servers=len(faults.degraded_servers),
+            n_failed_bands=len(faults.failed_bands),
+            n_churned_users=len(faults.churned_users),
+        )
+        rec.count("faults.injections")
 
     degraded = dict(faults.degraded_servers)
     servers = []

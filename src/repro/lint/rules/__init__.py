@@ -14,6 +14,7 @@ from repro.lint.rules import (  # noqa: F401
     r005_accumulation,
     r006_config_drift,
     r007_exceptions,
+    r008_telemetry,
 )
 
 __all__ = [
@@ -24,4 +25,5 @@ __all__ = [
     "r005_accumulation",
     "r006_config_drift",
     "r007_exceptions",
+    "r008_telemetry",
 ]

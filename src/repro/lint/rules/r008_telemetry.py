@@ -1,0 +1,96 @@
+"""R008 — telemetry discipline: time/print go through ``repro.obs``.
+
+``repro/core``, ``repro/sim`` and ``repro/experiments`` must not read
+clocks or write to stdout directly:
+
+* **Timing** belongs to the :mod:`repro.obs.clock` seam.  Ad-hoc
+  ``time.perf_counter()`` pairs cannot be injected with a deterministic
+  :class:`~repro.obs.clock.TickClock` in tests, and scattered
+  ``time.sleep`` calls (retry backoff) dodge the same seam.  Use
+  :class:`~repro.obs.clock.Stopwatch` and
+  :func:`~repro.obs.clock.sleep`.
+* **Output** belongs to the recorder.  A ``print()`` buried in
+  algorithm or runner code interleaves with the CLI's rendering, is
+  invisible to trace consumers, and breaks machine-readable output
+  modes.  Emit a :meth:`~repro.obs.recorder.Recorder.event` (or return
+  the data) instead; user-facing printing lives in ``repro/cli.py`` and
+  the report renderers.
+
+The rule flags ``import time`` / ``from time import ...`` and any
+``time.*`` or ``print`` call in the scoped packages.  ``repro/obs``
+itself is out of scope — it is the one place allowed to touch
+:mod:`time`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import ast
+
+from repro.lint.astutil import dotted_name
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.registry import register
+from repro.lint.rules_base import FileContext, Rule
+
+
+@register
+class TelemetryDisciplineRule(Rule):
+    rule_id = "R008"
+    title = "time/print in core, sim and experiments go through repro.obs"
+    rationale = (
+        "Direct time.* calls bypass the injectable clock seam (so tests "
+        "cannot make timing deterministic) and print() bypasses the "
+        "recorder (so traces and machine-readable output miss it); use "
+        "repro.obs.clock.Stopwatch / sleep and recorder events instead."
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        if not ctx.in_subpackage("core", "sim", "experiments"):
+            return
+        yield from self._check_imports(ctx)
+        yield from self._check_calls(ctx)
+
+    def _check_imports(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "time" or alias.name.startswith("time."):
+                        yield ctx.diagnostic(
+                            self.rule_id,
+                            node,
+                            "direct 'import time' bypasses the repro.obs "
+                            "clock seam; use repro.obs.clock (Stopwatch, "
+                            "sleep, monotonic) instead",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "time" and node.level == 0:
+                    yield ctx.diagnostic(
+                        self.rule_id,
+                        node,
+                        "direct 'from time import ...' bypasses the "
+                        "repro.obs clock seam; use repro.obs.clock "
+                        "(Stopwatch, sleep, monotonic) instead",
+                    )
+
+    def _check_calls(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        for call in self._walk_calls(ctx.tree):
+            name = dotted_name(call.func)
+            if name is None:
+                continue
+            if len(name) >= 2 and name[0] == "time":
+                yield ctx.diagnostic(
+                    self.rule_id,
+                    call,
+                    f"'{'.'.join(name)}()' reads the clock directly; go "
+                    "through repro.obs.clock so tests can inject a "
+                    "deterministic TickClock",
+                )
+            elif name == ("print",):
+                yield ctx.diagnostic(
+                    self.rule_id,
+                    call,
+                    "print() in algorithm/runner code bypasses the "
+                    "recorder; emit a recorder event or return the data "
+                    "(printing belongs to the CLI layer)",
+                )

@@ -1,0 +1,136 @@
+"""Opt-in cProfile capture with top-N hotspot extraction.
+
+Profiling answers the question the trace cannot: *where inside* a slow
+seed the time went.  It is strictly opt-in (``tsajs run --telemetry DIR
+--profile`` or :func:`set_profiling`) because cProfile's per-call hook
+costs far more than the <3 % budget the disabled observability path is
+held to — and its timings are inherently machine-local, so hotspot
+reports are written as sidecar JSON files next to the telemetry, never
+into the deterministic trace stream.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import json
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Union
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Hotspot:
+    """One profiled function's aggregate cost."""
+
+    function: str
+    file: str
+    line: int
+    calls: int
+    #: Time inside the function itself (excluding callees), seconds.
+    internal_s: float
+    #: Time including callees, seconds.
+    cumulative_s: float
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "function": self.function,
+            "file": self.file,
+            "line": self.line,
+            "calls": self.calls,
+            "internal_s": round(self.internal_s, 6),
+            "cumulative_s": round(self.cumulative_s, 6),
+        }
+
+
+def extract_hotspots(profile: cProfile.Profile, top_n: int = 20) -> List[Hotspot]:
+    """The ``top_n`` functions by cumulative time, deterministically ordered."""
+    if top_n < 1:
+        raise ConfigurationError(f"top_n must be >= 1, got {top_n}")
+    rows: List[Hotspot] = []
+    for entry in profile.getstats():  # type: ignore[attr-defined]
+        code = entry.code
+        if isinstance(code, str):
+            function, file, line = code, "~", 0
+        else:
+            function, file, line = code.co_name, code.co_filename, code.co_firstlineno
+        rows.append(
+            Hotspot(
+                function=function,
+                file=file,
+                line=line,
+                calls=int(entry.callcount),
+                internal_s=float(entry.inlinetime),
+                cumulative_s=float(entry.totaltime),
+            )
+        )
+    rows.sort(key=lambda h: (-h.cumulative_s, h.file, h.line, h.function))
+    return rows[:top_n]
+
+
+class ProfileCapture:
+    """Context manager capturing a cProfile run; hotspots appear on exit."""
+
+    def __init__(self, top_n: int = 20) -> None:
+        self.top_n = top_n
+        self.hotspots: List[Hotspot] = []
+        self._profile = cProfile.Profile()
+
+    def __enter__(self) -> "ProfileCapture":
+        self._profile.enable()
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        self._profile.disable()
+        self.hotspots = extract_hotspots(self._profile, self.top_n)
+        return False
+
+
+#: Process-level profiling destination (``None`` = profiling disabled).
+_PROFILE_DIR: Optional[Path] = None
+_TOP_N: int = 20
+
+
+def set_profiling(
+    directory: Optional[Union[str, Path]], top_n: int = 20
+) -> None:
+    """Enable per-seed profiling into ``directory`` (``None`` disables)."""
+    global _PROFILE_DIR, _TOP_N
+    if top_n < 1:
+        raise ConfigurationError(f"top_n must be >= 1, got {top_n}")
+    _PROFILE_DIR = Path(directory) if directory is not None else None
+    _TOP_N = top_n
+    if _PROFILE_DIR is not None:
+        _PROFILE_DIR.mkdir(parents=True, exist_ok=True)
+
+
+def profiling_enabled() -> bool:
+    """Whether per-seed profile capture is switched on."""
+    return _PROFILE_DIR is not None
+
+
+@contextmanager
+def maybe_profile(tag: str) -> Iterator[Optional[ProfileCapture]]:
+    """Profile the block and write ``profile_<tag>.json`` when enabled.
+
+    With profiling disabled this yields ``None`` at the cost of one
+    module-global read — callers can wrap hot sections unconditionally.
+    """
+    directory = _PROFILE_DIR
+    if directory is None:
+        yield None
+        return
+    capture = ProfileCapture(top_n=_TOP_N)
+    try:
+        with capture:
+            yield capture
+    finally:
+        path = directory / f"profile_{tag}.json"
+        payload = {
+            "tag": tag,
+            "top_n": capture.top_n,
+            "hotspots": [h.as_dict() for h in capture.hotspots],
+        }
+        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")

@@ -1,0 +1,240 @@
+"""Span/event trace recording to JSONL (schema v1) plus in-memory capture.
+
+:class:`TraceRecorder` is the concrete recorder behind ``tsajs solve
+--trace`` and ``tsajs run --telemetry``.  Design constraints, in order:
+
+* **Determinism.**  Records carry monotonic deltas (``t`` relative to
+  recorder creation, ``dur`` per span) from an injected
+  :class:`~repro.obs.clock.Clock` — never wall-clock timestamps — and
+  attrs carry only algorithm state, so a :class:`~repro.obs.clock.TickClock`
+  makes the whole file a pure function of the event sequence.
+* **Cheap emission.**  One dict build + ``json.dumps`` per record; no
+  buffering policy beyond the file object's own (``flush()`` on close).
+* **Fork safety.**  A recorder inherited by a forked pool worker would
+  interleave half-written lines with its parent; emissions from any PID
+  other than the creating one are dropped instead.
+
+Metrics (:meth:`Recorder.count` & friends) accumulate in an attached
+:class:`~repro.obs.metrics.MetricsRegistry` rather than the trace file:
+aggregates belong in one snapshot, not smeared over thousands of lines.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from pathlib import Path
+from types import TracebackType
+from typing import IO, Any, Dict, List, Optional, Type, Union
+
+from repro.obs.clock import Clock, MonotonicClock
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.recorder import AttrValue, Recorder
+from repro.obs.schema import SCHEMA_VERSION, validate_trace
+
+
+def _clean_scalar(value: object) -> object:
+    if isinstance(value, float) and not math.isfinite(value):
+        # Schema v1 (and strict JSON) has no -inf/nan; the annealer's
+        # dead-assignment utilities map to null instead.
+        return None
+    return value
+
+
+def _clean_attrs(attrs: Dict[str, AttrValue]) -> Dict[str, Any]:
+    """Replace non-finite floats with ``None`` (schema v1 forbids them)."""
+    cleaned: Dict[str, Any] = {}
+    for key, value in attrs.items():
+        if isinstance(value, (list, tuple)):
+            cleaned[key] = [_clean_scalar(item) for item in value]
+        else:
+            cleaned[key] = _clean_scalar(value)
+    return cleaned
+
+
+class Span:
+    """An open span; closing it emits the ``span_end`` record."""
+
+    __slots__ = ("_recorder", "name", "span_id", "_t0")
+
+    def __init__(self, recorder: "TraceRecorder", name: str, span_id: int, t0: float) -> None:
+        self._recorder = recorder
+        self.name = name
+        self.span_id = span_id
+        self._t0 = t0
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> bool:
+        self._recorder._end_span(self)
+        return False
+
+
+class TraceRecorder(Recorder):
+    """Schema-v1 recorder writing JSONL to a file and/or an in-memory list.
+
+    Parameters
+    ----------
+    path:
+        Destination JSONL file (parent directories are created).  ``None``
+        keeps records in memory only (see :attr:`records`).
+    clock:
+        Timing source; defaults to the real monotonic clock.  Inject a
+        :class:`~repro.obs.clock.TickClock` for byte-deterministic output.
+    iteration_detail:
+        Ask the annealer for per-iteration ``anneal.step`` events (orders
+        of magnitude more lines; off by default).
+    keep_records:
+        Also retain decoded records in memory when writing to a file.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        path: Optional[Union[str, Path]] = None,
+        clock: Optional[Clock] = None,
+        iteration_detail: bool = False,
+        keep_records: bool = False,
+    ) -> None:
+        self._clock: Clock = clock if clock is not None else MonotonicClock()
+        self._epoch = self._clock.now()
+        self._pid = os.getpid()
+        self.iteration_detail = iteration_detail
+        self.metrics = MetricsRegistry()
+        self._next_span_id = 0
+        self._n_records = 0
+        self.path: Optional[Path] = Path(path) if path is not None else None
+        self._handle: Optional[IO[str]] = None
+        if self.path is not None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = open(self.path, "w", encoding="utf-8")
+        self._records: Optional[List[Dict[str, Any]]] = (
+            [] if (self.path is None or keep_records) else None
+        )
+
+    # --- Emission ----------------------------------------------------------
+
+    @property
+    def records(self) -> List[Dict[str, Any]]:
+        """In-memory records (empty when writing to a file without capture)."""
+        return list(self._records) if self._records is not None else []
+
+    @property
+    def n_records(self) -> int:
+        return self._n_records
+
+    def _now(self) -> float:
+        return self._clock.now() - self._epoch
+
+    def _emit(self, record: Dict[str, Any]) -> None:
+        if os.getpid() != self._pid:
+            # Inherited by a forked worker: writing would interleave with
+            # the parent.  Drop silently; workers record nothing.
+            return
+        self._n_records += 1
+        if self._records is not None:
+            self._records.append(record)
+        if self._handle is not None:
+            self._handle.write(
+                json.dumps(record, separators=(",", ":"), allow_nan=False) + "\n"
+            )
+
+    def event(self, name: str, **attrs: AttrValue) -> None:
+        self._emit(
+            {
+                "v": SCHEMA_VERSION,
+                "kind": "event",
+                "name": name,
+                "t": self._now(),
+                "attrs": _clean_attrs(attrs),
+            }
+        )
+
+    def span(self, name: str, **attrs: AttrValue) -> Span:
+        span_id = self._next_span_id
+        self._next_span_id += 1
+        t0 = self._now()
+        self._emit(
+            {
+                "v": SCHEMA_VERSION,
+                "kind": "span_start",
+                "name": name,
+                "t": t0,
+                "id": span_id,
+                "attrs": _clean_attrs(attrs),
+            }
+        )
+        return Span(self, name, span_id, t0)
+
+    def _end_span(self, span: Span) -> None:
+        t1 = self._now()
+        self._emit(
+            {
+                "v": SCHEMA_VERSION,
+                "kind": "span_end",
+                "name": span.name,
+                "t": t1,
+                "id": span.span_id,
+                "dur": t1 - span._t0,
+                "attrs": {},
+            }
+        )
+
+    # --- Metrics -----------------------------------------------------------
+
+    def count(self, name: str, value: float = 1.0, **labels: AttrValue) -> None:
+        self.metrics.count(name, value, **labels)  # type: ignore[arg-type]
+
+    def gauge_set(self, name: str, value: float, **labels: AttrValue) -> None:
+        self.metrics.gauge_set(name, value, **labels)  # type: ignore[arg-type]
+
+    def observe(self, name: str, value: float, **labels: AttrValue) -> None:
+        self.metrics.observe(name, value, **labels)  # type: ignore[arg-type]
+
+    def snapshot(self) -> Dict[str, Any]:
+        return self.metrics.snapshot()
+
+    # --- Lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.flush()
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "TraceRecorder":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> bool:
+        self.close()
+        return False
+
+
+def read_trace(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Load and schema-validate a JSONL trace file.
+
+    Raises :class:`~repro.obs.schema.TraceSchemaError` (naming the line)
+    on the first malformed record.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        return validate_trace(handle)
+
+
+def events_named(
+    records: List[Dict[str, Any]], name: str
+) -> List[Dict[str, Any]]:
+    """The subset of ``records`` with the given ``name`` (any kind)."""
+    return [record for record in records if record["name"] == name]

@@ -25,12 +25,14 @@ and fail-fast error propagation.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Protocol, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Protocol, Sequence, Tuple
 
 from repro.core.scheduler import Scheduler
 from repro.errors import ConfigurationError, SolverError
+from repro.obs.clock import sleep
+from repro.obs.profile import maybe_profile, profiling_enabled
+from repro.obs.recorder import get_recorder
 from repro.sim.config import SimulationConfig
 from repro.sim.metrics import SolutionMetrics, solution_metrics
 from repro.sim.rng import child_rng
@@ -132,12 +134,17 @@ class ExperimentResult:
     ``seeds`` lists the *requested* seeds; when a resilient run gives up
     on some of them, the per-scheme sample lists cover only the seeds
     that completed and ``failures`` records the rest.
+
+    ``telemetry`` is the recorder's metrics snapshot (counters, gauges and
+    histograms keyed ``name{label=value,...}``) taken when the run ends;
+    ``None`` unless a recorder was enabled (``tsajs run --telemetry``).
     """
 
     config: SimulationConfig
     seeds: List[int]
     metrics: Dict[str, List[SolutionMetrics]] = field(default_factory=dict)
     failures: List[SeedFailure] = field(default_factory=list)
+    telemetry: Optional[Dict[str, Any]] = None
 
     def _samples(self, scheme: str) -> List[SolutionMetrics]:
         try:
@@ -177,7 +184,7 @@ class ExperimentResult:
         return [seed for seed in self.seeds if seed not in failed]
 
 
-def _run_one_seed(
+def _seed_work(
     config: SimulationConfig,
     schedulers: Sequence[Scheduler],
     seed: int,
@@ -189,6 +196,43 @@ def _run_one_seed(
         rng = child_rng(seed, 100 + index)
         outcome = scheduler.schedule(scenario, rng)
         metrics.append(solution_metrics(scenario, outcome))
+    return metrics
+
+
+def _run_one_seed(
+    config: SimulationConfig,
+    schedulers: Sequence[Scheduler],
+    seed: int,
+) -> List[SolutionMetrics]:
+    """Dispatch one seed's work, instrumented when a recorder is enabled.
+
+    With the default :class:`~repro.obs.recorder.NullRecorder` and
+    profiling off, this is exactly :func:`_seed_work` — no spans, no
+    metric touches, no profiler, so untraced runs stay on the legacy hot
+    path.  A forked pool worker inherits the null recorder (recorders
+    are process-level state, never pickled with schedulers), so pool
+    runs record seed telemetry only in the parent-side merge.
+    """
+    rec = get_recorder()
+    if not rec.enabled and not profiling_enabled():
+        return _seed_work(config, schedulers, seed)
+    with maybe_profile(f"seed_{seed}"):
+        with rec.span("runner.seed", seed=seed, n_schemes=len(schedulers)):
+            metrics = _seed_work(config, schedulers, seed)
+    for scheduler, entry in zip(schedulers, metrics):
+        rec.count("runner.seeds_completed", scheme=scheduler.name)
+        rec.count(
+            "scheduler.evaluations", entry.evaluations, scheme=scheduler.name
+        )
+        rec.observe(
+            "scheduler.wall_time_s", entry.wall_time_s, scheme=scheduler.name
+        )
+        rec.gauge_set(
+            "scheduler.utility",
+            entry.system_utility,
+            scheme=scheduler.name,
+            seed=seed,
+        )
     return metrics
 
 
@@ -322,6 +366,7 @@ def _run_resilient(
     journal: Optional[SeedJournal],
 ) -> Tuple[Dict[int, List[SolutionMetrics]], List[SeedFailure]]:
     """Retry loop over pending cells; returns per-position results."""
+    rec = get_recorder()
     results: Dict[int, List[SolutionMetrics]] = {}
     pending: List[_Cell] = list(cells)
     last_error: Dict[int, str] = {}
@@ -332,14 +377,33 @@ def _run_resilient(
         if not pending:
             break
         if attempt > 1 and delay > 0:
-            time.sleep(delay)
+            if rec.enabled:
+                rec.event(
+                    "runner.backoff",
+                    attempt=attempt,
+                    delay_s=delay,
+                    n_pending=len(pending),
+                )
+                rec.count("runner.retry_waves")
+            sleep(delay)
             delay *= policy.backoff_factor
         if use_pool:
             done, failed, broken = _run_wave_pool(
                 config, schedulers, pending, n_jobs, policy.seed_timeout_s
             )
-            if broken and policy.serial_fallback:
-                use_pool = False
+            if broken:
+                if rec.enabled:
+                    rec.event(
+                        "runner.pool_broken",
+                        attempt=attempt,
+                        n_failed=len(failed),
+                        serial_fallback=policy.serial_fallback,
+                    )
+                    rec.count("runner.pool_breaks")
+                if policy.serial_fallback:
+                    if rec.enabled:
+                        rec.event("runner.serial_fallback", attempt=attempt)
+                    use_pool = False
         else:
             done, failed = _run_wave_serial(config, schedulers, pending)
         for position, seed, metrics in done:
@@ -349,6 +413,14 @@ def _run_resilient(
         pending = [(position, seed) for position, seed, _ in failed]
         for position, seed, error in failed:
             last_error[position] = error
+            if rec.enabled:
+                rec.event(
+                    "runner.seed_error",
+                    seed=seed,
+                    attempt=attempt,
+                    error=error,
+                )
+                rec.count("runner.seed_errors")
 
     failures = [
         SeedFailure(
@@ -358,6 +430,15 @@ def _run_resilient(
         )
         for position, seed in pending
     ]
+    if rec.enabled:
+        for failure in failures:
+            rec.event(
+                "runner.seed_failed",
+                seed=failure.seed,
+                attempts=failure.attempts,
+                error=failure.error,
+            )
+            rec.count("runner.seeds_failed")
     return results, failures
 
 
@@ -407,62 +488,83 @@ def run_schemes(
         retry = _DEFAULT_RETRY
     if journal is None:
         journal = _DEFAULT_JOURNAL
+    rec = get_recorder()
 
     result = ExperimentResult(config=config, seeds=seeds)
     for name in names:
         result.metrics[name] = []
 
-    if retry is None and journal is None:
-        # Legacy fail-fast path: bitwise-identical to the original
-        # runner, exceptions propagate to the caller.
-        if n_jobs == 1 or len(seeds) == 1:
-            per_seed = [_run_one_seed(config, schedulers, seed) for seed in seeds]
-        else:
-            from concurrent.futures import ProcessPoolExecutor
+    with rec.span(
+        "runner.run_schemes",
+        n_seeds=len(seeds),
+        n_jobs=n_jobs,
+        schemes=names,
+        resilient=retry is not None or journal is not None,
+    ):
+        if retry is None and journal is None:
+            # Legacy fail-fast path: bitwise-identical to the original
+            # runner, exceptions propagate to the caller.
+            if n_jobs == 1 or len(seeds) == 1:
+                per_seed = [
+                    _run_one_seed(config, schedulers, seed) for seed in seeds
+                ]
+            else:
+                from concurrent.futures import ProcessPoolExecutor
 
-            with ProcessPoolExecutor(max_workers=min(n_jobs, len(seeds))) as pool:
-                per_seed = list(
-                    pool.map(
-                        _run_one_seed,
-                        [config] * len(seeds),
-                        [schedulers] * len(seeds),
-                        seeds,
+                with ProcessPoolExecutor(
+                    max_workers=min(n_jobs, len(seeds))
+                ) as pool:
+                    per_seed = list(
+                        pool.map(
+                            _run_one_seed,
+                            [config] * len(seeds),
+                            [schedulers] * len(seeds),
+                            seeds,
+                        )
                     )
+            for metrics in per_seed:
+                for name, entry in zip(names, metrics):
+                    result.metrics[name].append(entry)
+            if rec.enabled:
+                result.telemetry = rec.snapshot()
+            return result
+
+        by_position: Dict[int, List[SolutionMetrics]] = {}
+        pending: List[_Cell] = []
+        for position, seed in enumerate(seeds):
+            cached = (
+                journal.lookup_seed(config, schedulers, seed) if journal else None
+            )
+            if cached is not None:
+                by_position[position] = cached
+                if rec.enabled:
+                    rec.event("runner.journal_hit", seed=seed)
+                    rec.count("runner.journal_hits")
+            else:
+                pending.append((position, seed))
+
+        policy = retry if retry is not None else RetryPolicy()
+        if pending:
+            computed, failures = _run_resilient(
+                config, schedulers, pending, n_jobs, policy, journal
+            )
+            by_position.update(computed)
+            result.failures = failures
+            if not by_position:
+                details = "; ".join(
+                    f"seed {f.seed}: {f.error}" for f in failures[:5]
                 )
-        for metrics in per_seed:
-            for name, entry in zip(names, metrics):
+                raise SolverError(
+                    f"all {len(seeds)} seeds failed after "
+                    f"{policy.max_attempts} attempt(s): {details}"
+                )
+
+        for position in sorted(by_position):
+            for name, entry in zip(names, by_position[position]):
                 result.metrics[name].append(entry)
+        if rec.enabled:
+            result.telemetry = rec.snapshot()
         return result
-
-    by_position: Dict[int, List[SolutionMetrics]] = {}
-    pending: List[_Cell] = []
-    for position, seed in enumerate(seeds):
-        cached = journal.lookup_seed(config, schedulers, seed) if journal else None
-        if cached is not None:
-            by_position[position] = cached
-        else:
-            pending.append((position, seed))
-
-    policy = retry if retry is not None else RetryPolicy()
-    if pending:
-        computed, failures = _run_resilient(
-            config, schedulers, pending, n_jobs, policy, journal
-        )
-        by_position.update(computed)
-        result.failures = failures
-        if not by_position:
-            details = "; ".join(
-                f"seed {f.seed}: {f.error}" for f in failures[:5]
-            )
-            raise SolverError(
-                f"all {len(seeds)} seeds failed after "
-                f"{policy.max_attempts} attempt(s): {details}"
-            )
-
-    for position in sorted(by_position):
-        for name, entry in zip(names, by_position[position]):
-            result.metrics[name].append(entry)
-    return result
 
 
 @dataclass(frozen=True)

@@ -26,9 +26,11 @@ def _write(root: Path, rel: str, source: str) -> Path:
 
 
 class TestRegistry:
-    def test_all_seven_rules_registered(self):
+    def test_all_eight_rules_registered(self):
         ids = [rule.rule_id for rule in all_rules()]
-        assert ids == ["R001", "R002", "R003", "R004", "R005", "R006", "R007"]
+        assert ids == [
+            "R001", "R002", "R003", "R004", "R005", "R006", "R007", "R008",
+        ]
 
     def test_rules_carry_title_and_rationale(self):
         for rule in all_rules():
@@ -175,7 +177,9 @@ class TestCli:
 
         assert main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule_id in ("R001", "R002", "R003", "R004", "R005", "R006", "R007"):
+        for rule_id in (
+            "R001", "R002", "R003", "R004", "R005", "R006", "R007", "R008",
+        ):
             assert rule_id in out
 
     def test_unknown_rule_exits_2(self, capsys):

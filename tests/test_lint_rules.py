@@ -1,4 +1,4 @@
-"""Positive and negative fixtures for every lint rule (R001-R007).
+"""Positive and negative fixtures for every lint rule (R001-R008).
 
 Each rule is demonstrated by at least one *failing* fixture (the rule
 fires on code exhibiting the hazard) and one *passing* fixture (the
@@ -498,6 +498,99 @@ class TestR007ExceptionHygiene:
         assert _lint(tmp_path, "R007") == []
 
 
+class TestR008TelemetryDiscipline:
+    def test_flags_import_time(self, tmp_path):
+        _write_tree(tmp_path, {
+            "repro/core/x.py": (
+                "import time\n"
+                "start = time.perf_counter()\n"
+            ),
+        })
+        diags = _lint(tmp_path, "R008")
+        assert len(diags) == 2
+        assert {d.line for d in diags} == {1, 2}
+        assert "repro.obs.clock" in diags[0].message
+
+    def test_flags_from_time_import(self, tmp_path):
+        _write_tree(tmp_path, {
+            "repro/sim/x.py": "from time import sleep\n",
+        })
+        diags = _lint(tmp_path, "R008")
+        assert len(diags) == 1
+        assert "repro.obs.clock" in diags[0].message
+
+    def test_flags_time_sleep_call(self, tmp_path):
+        _write_tree(tmp_path, {
+            "repro/experiments/x.py": (
+                "import time\n"
+                "def backoff():\n"
+                "    time.sleep(0.5)\n"
+            ),
+        })
+        diags = _lint(tmp_path, "R008")
+        assert {d.line for d in diags} == {1, 3}
+
+    def test_flags_print_call(self, tmp_path):
+        _write_tree(tmp_path, {
+            "repro/sim/x.py": (
+                "def run():\n"
+                "    print('done')\n"
+            ),
+        })
+        diags = _lint(tmp_path, "R008")
+        assert len(diags) == 1
+        assert "recorder" in diags[0].message
+
+    def test_obs_clock_idiom_passes(self, tmp_path):
+        _write_tree(tmp_path, {
+            "repro/core/x.py": (
+                "from repro.obs.clock import Stopwatch, sleep\n"
+                "def run():\n"
+                "    watch = Stopwatch()\n"
+                "    sleep(0.0)\n"
+                "    return watch.elapsed()\n"
+            ),
+        })
+        assert _lint(tmp_path, "R008") == []
+
+    def test_obs_package_is_out_of_scope(self, tmp_path):
+        _write_tree(tmp_path, {
+            "repro/obs/clock.py": (
+                "import time\n"
+                "def monotonic():\n"
+                "    return time.perf_counter()\n"
+            ),
+        })
+        assert _lint(tmp_path, "R008") == []
+
+    def test_other_packages_are_out_of_scope(self, tmp_path):
+        _write_tree(tmp_path, {
+            "repro/analysis/x.py": "import time\nprint(time.time())\n",
+        })
+        assert _lint(tmp_path, "R008") == []
+
+    def test_suppression_comment_is_honoured(self, tmp_path):
+        _write_tree(tmp_path, {
+            "repro/sim/x.py": (
+                "def debug():\n"
+                "    print('x')  # repro-lint: disable=R008\n"
+            ),
+        })
+        assert _lint(tmp_path, "R008") == []
+
+    def test_time_variable_attribute_is_fine(self, tmp_path):
+        # A local object that happens to be named `time` is not the module.
+        # The AST rule cannot tell them apart, but names like
+        # `metrics.time_s` or calls like `t.time_s()` must not trip it.
+        _write_tree(tmp_path, {
+            "repro/sim/x.py": (
+                "def f(metrics):\n"
+                "    return metrics.wall_time_s\n"
+            ),
+        })
+        assert _lint(tmp_path, "R008") == []
+
+
 class TestEveryRuleHasFailingFixture:
     """Meta-guarantee: each registered rule fires on at least one fixture."""
 
@@ -514,6 +607,10 @@ class TestEveryRuleHasFailingFixture:
         "R007": (
             "repro/sim/x.py",
             "try:\n    pass\nexcept Exception:\n    pass\n",
+        ),
+        "R008": (
+            "repro/sim/x.py",
+            "import time\ntime.sleep(1.0)\n",
         ),
     }
 
