@@ -8,10 +8,12 @@ Sub-commands
 ``tsajs run <experiment-id> [--quick] [--workers N] [--out FILE]``
     Run one experiment and print (and optionally save) its table.
     ``--workers`` fans the seeds over worker processes (same results).
-``tsajs solve [--users U --servers S --subbands N --delta ...]``
+``tsajs solve [--users U --servers S --subbands N --delta --batch ...]``
     Solve a single random instance with the selected schemes and print
     the utilities side by side — a one-command demo of the library.
-    ``--delta`` switches TSAJS to the incremental evaluation path.
+    ``--delta`` switches TSAJS to the incremental evaluation path;
+    ``--batch [--batch-size B]`` to the vectorized batch path (both are
+    bit-identical to the scalar path).
 ``tsajs schemes``
     List the scheme names accepted by ``solve --schemes``.
 ``tsajs episode [--pool P --slots T --outage q ...]``
@@ -161,6 +163,21 @@ def _build_parser() -> argparse.ArgumentParser:
             "comma-separated scheme names to run "
             "(see `tsajs schemes` for the full list)"
         ),
+    )
+    solve_parser.add_argument(
+        "--batch",
+        action="store_true",
+        help=(
+            "score speculative move batches with the vectorized batch "
+            "evaluator; bit-identical results, lower wall-clock time"
+        ),
+    )
+    solve_parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=64,
+        metavar="B",
+        help="moves per vectorized round with --batch (default 64)",
     )
     solve_parser.add_argument(
         "--delta",
@@ -439,6 +456,8 @@ def _cmd_solve_body(args: argparse.Namespace) -> int:
         workload_megacycles=args.workload_mc,
         input_kb=args.input_kb,
         use_delta=args.delta,
+        use_batch=args.batch,
+        batch_size=args.batch_size,
     )
     scenario = Scenario.build(config, seed=args.seed)
     print(
@@ -446,7 +465,13 @@ def _cmd_solve_body(args: argparse.Namespace) -> int:
         f"w={args.workload_mc:.0f} Mc d={args.input_kb:.0f} KB seed={args.seed}"
     )
     names = [name.strip() for name in args.schemes.split(",") if name.strip()]
-    schedulers = build_schemes(names, quick=args.quick, use_delta=config.use_delta)
+    schedulers = build_schemes(
+        names,
+        quick=args.quick,
+        use_delta=config.use_delta,
+        use_batch=config.use_batch,
+        batch_size=config.batch_size,
+    )
     for index, scheduler in enumerate(schedulers):
         rng = child_rng(args.seed, 100 + index)
         result = scheduler.schedule(scenario, rng)

@@ -65,6 +65,7 @@ import numpy as np
 
 from repro.core.decision import LOCAL, OffloadingDecision
 from repro.core.objective import ObjectiveEvaluator
+from repro.errors import ConfigurationError
 
 if TYPE_CHECKING:  # pragma: no cover - type-only import
     from repro.sim.scenario import Scenario
@@ -79,7 +80,12 @@ class DeltaEvaluator(ObjectiveEvaluator):
     fresh one.
     """
 
-    def __init__(self, scenario: "Scenario") -> None:
+    def __init__(
+        self,
+        scenario: "Scenario",
+        *,
+        share_constants_from: Optional["DeltaEvaluator"] = None,
+    ) -> None:
         super().__init__(scenario)
         #: Incremental (touched-set) evaluations vs O(U) vector-diff ones;
         #: plain int telemetry read by the scheduler's observability event
@@ -88,19 +94,38 @@ class DeltaEvaluator(ObjectiveEvaluator):
         #: the annealer's inner loop pays nothing for the bookkeeping.
         self.fast_evals = 0
         self.full_evals = 0
-        # Python-native copies of the constants read per move: list
-        # indexing returns ready-made floats, numpy scalar indexing
-        # allocates a wrapper object each time.  float() is exact, so
-        # scalar arithmetic on these matches numpy's kernels bitwise.
-        self._p_list = scenario.tx_power_watts.tolist()
-        self._sqrt_eta_list = scenario.sqrt_eta.tolist()
-        self._comm_list = scenario.comm_weight.tolist()
-        self._gain_list = scenario.offload_gain.tolist()
-        self._noise = float(scenario.noise_watts)
-        self._n_servers = scenario.n_servers
-        self._cpu_hz = scenario.server_cpu_hz
-        #: ``_gain_rows[u][j][s]`` = ``h[u, s, j]``, band-major.
-        self._gain_rows = scenario.gains.transpose(0, 2, 1).tolist()
+        if share_constants_from is not None:
+            # Alias the immutable per-scenario constants of an existing
+            # evaluator instead of re-materialising them (the gain copy is
+            # the expensive part: U*N*S Python floats).  Used by the
+            # parallel-tempering chains, which all score the same scenario.
+            if share_constants_from.scenario is not scenario:
+                raise ConfigurationError(
+                    "share_constants_from must wrap the same scenario object"
+                )
+            src = share_constants_from
+            self._p_list = src._p_list
+            self._sqrt_eta_list = src._sqrt_eta_list
+            self._comm_list = src._comm_list
+            self._gain_list = src._gain_list
+            self._noise = src._noise
+            self._n_servers = src._n_servers
+            self._cpu_hz = src._cpu_hz
+            self._gain_rows = src._gain_rows
+        else:
+            # Python-native copies of the constants read per move: list
+            # indexing returns ready-made floats, numpy scalar indexing
+            # allocates a wrapper object each time.  float() is exact, so
+            # scalar arithmetic on these matches numpy's kernels bitwise.
+            self._p_list = scenario.tx_power_watts.tolist()
+            self._sqrt_eta_list = scenario.sqrt_eta.tolist()
+            self._comm_list = scenario.comm_weight.tolist()
+            self._gain_list = scenario.offload_gain.tolist()
+            self._noise = float(scenario.noise_watts)
+            self._n_servers = scenario.n_servers
+            self._cpu_hz = scenario.server_cpu_hz
+            #: ``_gain_rows[u][j][s]`` = ``h[u, s, j]``, band-major.
+            self._gain_rows = scenario.gains.transpose(0, 2, 1).tolist()
         self.rebuild()
 
     # --- Cache lifecycle ---------------------------------------------------
@@ -303,6 +328,24 @@ class DeltaEvaluator(ObjectiveEvaluator):
                     self._n_dead += 1
                 net[u] = 0.0
 
+    def _settle_kkt(self) -> None:
+        """Recompute the cached ``Lambda(X, F*)`` cost if it is stale.
+
+        The recomputation runs over the same fixed-length masked arrays
+        as the full path, so settling at any time is exact; the batch
+        evaluator calls this before staging so clean candidates can reuse
+        ``_lambda_cost`` even when ``_value`` early-returned (all-local or
+        dead-user incumbents skip the lazy settle below).
+        """
+        if self._kkt_dirty:
+            root_sums = np.bincount(
+                self._idx, weights=self._w, minlength=self._n_servers
+            )
+            self._lambda_cost = float(
+                np.add.reduce(root_sums * root_sums / self._cpu_hz)
+            )
+            self._kkt_dirty = False
+
     def _value(self) -> float:
         if self._n_offloaded == 0:
             return 0.0
@@ -312,12 +355,5 @@ class DeltaEvaluator(ObjectiveEvaluator):
         # np.add.reduce is exactly ndarray.sum's pairwise kernel.  The
         # KKT cost is recomputed from the same masked arrays whenever
         # they changed, so caching it across channel-only moves is exact.
-        if self._kkt_dirty:
-            root_sums = np.bincount(
-                self._idx, weights=self._w, minlength=self._n_servers
-            )
-            self._lambda_cost = float(
-                np.add.reduce(root_sums * root_sums / self._cpu_hz)
-            )
-            self._kkt_dirty = False
+        self._settle_kkt()
         return float(np.add.reduce(self._net)) - self._lambda_cost

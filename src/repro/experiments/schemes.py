@@ -2,12 +2,14 @@
 
 Maps the scheme names used throughout the paper (and this library's
 extensions) to constructor callables, with a ``quick`` knob for the
-annealer-based schemes and a ``use_delta`` knob selecting the
-incremental (bitwise-equal) evaluation path for the TSAJS variants.
+annealer-based schemes and ``use_delta`` / ``use_batch`` knobs selecting
+the incremental or vectorized (both bitwise-equal) evaluation paths for
+the TSAJS variants.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Callable, Dict, List
 
 from repro.baselines import (
@@ -20,6 +22,7 @@ from repro.baselines import (
     RandomScheduler,
 )
 from repro.core.annealing import AnnealingSchedule
+from repro.core.batch import ParallelTemperingScheduler
 from repro.core.scheduler import Scheduler, TsajsScheduler
 from repro.errors import ConfigurationError
 from repro.extensions.power_control import TsajsWithPowerControl
@@ -28,31 +31,64 @@ from repro.extensions.power_control import TsajsWithPowerControl
 QUICK_MIN_TEMPERATURE = 1e-2
 
 
+@dataclass(frozen=True)
+class SchemeOptions:
+    """Construction knobs shared by every scheme factory.
+
+    ``quick`` shortens the annealing schedule; ``use_delta`` and
+    ``use_batch`` pick the incremental or vectorized evaluation path for
+    the TSAJS variants (both bitwise-equal to the scalar path, and
+    mutually exclusive); ``batch_size`` sizes the speculative batches of
+    the vectorized path and the parallel-tempering scheme.  Baselines
+    without an annealer inner loop ignore the evaluation knobs.
+    """
+
+    quick: bool = False
+    use_delta: bool = False
+    use_batch: bool = False
+    batch_size: int = 64
+
+    def __post_init__(self) -> None:
+        if self.use_delta and self.use_batch:
+            raise ConfigurationError(
+                "use_delta and use_batch are mutually exclusive"
+            )
+        if self.batch_size < 1:
+            raise ConfigurationError(
+                f"batch_size must be >= 1, got {self.batch_size}"
+            )
+
+
 def _annealing(quick: bool) -> AnnealingSchedule:
     return AnnealingSchedule(
         min_temperature=QUICK_MIN_TEMPERATURE if quick else 1e-9
     )
 
 
-#: Scheme name -> factory taking the (quick, use_delta) flags.  The
-#: non-annealing baselines ignore use_delta (they have no inner loop the
-#: delta evaluator accelerates).
-SCHEME_FACTORIES: Dict[str, Callable[[bool, bool], Scheduler]] = {
-    "TSAJS": lambda quick, use_delta=False: TsajsScheduler(
-        schedule=_annealing(quick), use_delta=use_delta
+#: Scheme name -> factory taking a :class:`SchemeOptions`.
+SCHEME_FACTORIES: Dict[str, Callable[[SchemeOptions], Scheduler]] = {
+    "TSAJS": lambda opts: TsajsScheduler(
+        schedule=_annealing(opts.quick),
+        use_delta=opts.use_delta,
+        use_batch=opts.use_batch,
+        batch_size=opts.batch_size,
     ),
-    "hJTORA": lambda quick, use_delta=False: HJtoraScheduler(),
-    "LocalSearch": lambda quick, use_delta=False: LocalSearchScheduler(),
-    "Greedy": lambda quick, use_delta=False: GreedyScheduler(),
-    "Exhaustive": lambda quick, use_delta=False: ExhaustiveScheduler(),
-    "GA": lambda quick, use_delta=False: GeneticScheduler(
-        generations=20 if quick else 80
+    "TSAJS-PT": lambda opts: ParallelTemperingScheduler(
+        schedule=_annealing(opts.quick), batch_size=opts.batch_size
     ),
-    "TSAJS-PC": lambda quick, use_delta=False: TsajsWithPowerControl(
-        schedule=_annealing(quick), use_delta=use_delta
+    "hJTORA": lambda opts: HJtoraScheduler(),
+    "LocalSearch": lambda opts: LocalSearchScheduler(),
+    "Greedy": lambda opts: GreedyScheduler(),
+    "Exhaustive": lambda opts: ExhaustiveScheduler(),
+    "GA": lambda opts: GeneticScheduler(generations=20 if opts.quick else 80),
+    "TSAJS-PC": lambda opts: TsajsWithPowerControl(
+        schedule=_annealing(opts.quick),
+        use_delta=opts.use_delta,
+        use_batch=opts.use_batch,
+        batch_size=opts.batch_size,
     ),
-    "AllLocal": lambda quick, use_delta=False: AllLocalScheduler(),
-    "Random": lambda quick, use_delta=False: RandomScheduler(samples=10),
+    "AllLocal": lambda opts: AllLocalScheduler(),
+    "Random": lambda opts: RandomScheduler(samples=10),
 }
 
 
@@ -62,7 +98,11 @@ def available_schemes() -> List[str]:
 
 
 def build_schemes(
-    names: List[str], quick: bool = False, use_delta: bool = False
+    names: List[str],
+    quick: bool = False,
+    use_delta: bool = False,
+    use_batch: bool = False,
+    batch_size: int = 64,
 ) -> List[Scheduler]:
     """Instantiate schedulers for the given scheme names.
 
@@ -70,6 +110,12 @@ def build_schemes(
     """
     if len(set(names)) != len(names):
         raise ConfigurationError(f"duplicate scheme names: {names}")
+    opts = SchemeOptions(
+        quick=quick,
+        use_delta=use_delta,
+        use_batch=use_batch,
+        batch_size=batch_size,
+    )
     schedulers = []
     for name in names:
         try:
@@ -78,5 +124,5 @@ def build_schemes(
             raise ConfigurationError(
                 f"unknown scheme {name!r}; available: {', '.join(available_schemes())}"
             ) from None
-        schedulers.append(factory(quick, use_delta))
+        schedulers.append(factory(opts))
     return schedulers

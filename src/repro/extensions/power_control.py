@@ -259,10 +259,17 @@ class TsajsWithPowerControl:
         p_min_watts: float = 1e-3,
         p_max_watts: float = 0.1,
         use_delta: bool = False,
+        use_batch: bool = False,
+        batch_size: int = 64,
     ) -> None:
         if rounds < 1:
             raise ConfigurationError(f"rounds must be >= 1, got {rounds}")
-        self.tsajs = TsajsScheduler(schedule=schedule, use_delta=use_delta)
+        self.tsajs = TsajsScheduler(
+            schedule=schedule,
+            use_delta=use_delta,
+            use_batch=use_batch,
+            batch_size=batch_size,
+        )
         self.rounds = rounds
         self.p_min_watts = p_min_watts
         self.p_max_watts = p_max_watts

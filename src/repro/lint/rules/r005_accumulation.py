@@ -8,6 +8,15 @@ accumulate left-to-right over whatever iterable order they are handed,
 so a refactor from vectorised to scalar summation changes results in
 the last bits — exactly the drift the golden-trajectory suite exists to
 catch.  Use ``np.sum`` / ``np.add.reduce`` over arrays instead.
+
+BLAS-backed reductions — ``np.dot`` / ``np.matmul`` / ``np.einsum`` /
+``np.inner`` and the ``@`` operator — are banned in ``core/`` for the
+same reason from the other direction: their accumulation order is an
+implementation detail of the linked BLAS (blocked, threaded, SIMD-width
+dependent), so the same expression can produce different last bits
+across machines.  The batch evaluator (``core/batch.py``) is exactly
+where reaching for ``dot`` is tempting; its kernels must stay on
+elementwise multiply plus ``np.add.reduce`` / ``np.add.at``.
 """
 
 from __future__ import annotations
@@ -51,4 +60,26 @@ class AccumulationRule(Rule):
                     "math.fsum() uses compensated summation that differs "
                     "from the pinned np.add.reduce order; use np.sum "
                     "over a fixed-length array",
+                )
+            elif name is not None and len(name) == 2 and name[0] in (
+                "np",
+                "numpy",
+            ) and name[1] in ("dot", "matmul", "einsum", "inner", "vdot"):
+                yield ctx.diagnostic(
+                    self.rule_id,
+                    call,
+                    f"np.{name[1]}() reduces in BLAS-defined order, which "
+                    "is not bitwise-reproducible across builds; use an "
+                    "elementwise product with np.add.reduce/np.add.at "
+                    "(the pinned accumulation contract)",
+                )
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.BinOp) and isinstance(node.op, ast.MatMult):
+                yield ctx.diagnostic(
+                    self.rule_id,
+                    node,
+                    "the @ operator reduces in BLAS-defined order, which "
+                    "is not bitwise-reproducible across builds; use an "
+                    "elementwise product with np.add.reduce/np.add.at "
+                    "(the pinned accumulation contract)",
                 )

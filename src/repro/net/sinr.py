@@ -81,6 +81,85 @@ def _validate_inputs(
         )
 
 
+def total_received_power(
+    gains: np.ndarray,
+    tx_power_watts: np.ndarray,
+    server_of_user: np.ndarray,
+    channel_of_user: np.ndarray,
+) -> np.ndarray:
+    """Per-(sub-band, station) total received power, shape ``(N, S)``.
+
+    ``out[j, s]`` is the power station ``s`` receives on sub-band ``j``
+    from *every* user transmitting on ``j`` — the bucket matrix Eq. (3)'s
+    interference sum is carved out of (a user's interference at its
+    serving slot is its bucket minus its own signal).  The accumulation
+    is the sequential ascending-user-order sum documented in
+    :func:`compute_link_stats`; the incremental caches of
+    ``repro.core.delta`` / ``repro.core.batch`` must reproduce these
+    exact bits after any rebuild, which is what the interference-cache
+    property tests pin.
+    """
+    gains = np.asarray(gains, dtype=float)
+    n_users, n_servers, n_channels = gains.shape
+    total_rx = np.zeros((n_channels, n_servers))
+    offloaded = np.flatnonzero(np.asarray(server_of_user) >= 0)
+    if offloaded.size:
+        chan = np.asarray(channel_of_user)[offloaded]
+        rx = gains[offloaded, :, chan] * np.asarray(tx_power_watts, dtype=float)[
+            offloaded, None
+        ]
+        np.add.at(total_rx, chan, rx)
+    return total_rx
+
+
+def compute_sinr_batch(
+    gains: np.ndarray,
+    tx_power_watts: np.ndarray,
+    noise_watts: float,
+    server_of_user: np.ndarray,
+    channel_of_user: np.ndarray,
+) -> np.ndarray:
+    """Eq. (3) for a whole batch of assignments in one NumPy shot.
+
+    ``server_of_user`` / ``channel_of_user`` have shape ``(B, U)`` —
+    ``B`` complete assignments over the same ``(U, S, N)`` gain tensor —
+    and the result is the ``(B, U)`` linear SINR matrix (zero for local
+    users).  The per-assignment bits match :func:`compute_link_stats`
+    exactly: the scatter walks ``(batch, user)`` pairs in row-major
+    order, so each assignment's buckets accumulate in the same ascending
+    user order as the scalar path.
+    """
+    gains = np.asarray(gains, dtype=float)
+    tx_power_watts = np.asarray(tx_power_watts, dtype=float)
+    server_of_user = np.atleast_2d(np.asarray(server_of_user))
+    channel_of_user = np.atleast_2d(np.asarray(channel_of_user))
+    n_users, n_servers, n_channels = gains.shape
+    n_batch = server_of_user.shape[0]
+    if server_of_user.shape != (n_batch, n_users) or channel_of_user.shape != (
+        n_batch,
+        n_users,
+    ):
+        raise ConfigurationError(
+            "batch assignment vectors must have shape "
+            f"({n_batch}, {n_users}), got {server_of_user.shape} / "
+            f"{channel_of_user.shape}"
+        )
+
+    sinr = np.zeros((n_batch, n_users))
+    rows, users = np.nonzero(server_of_user >= 0)
+    if rows.size:
+        srv = server_of_user[rows, users]
+        chan = channel_of_user[rows, users]
+        rx = gains[users, :, chan] * tx_power_watts[users, None]
+        total_rx = np.zeros((n_batch, n_channels, n_servers))
+        np.add.at(total_rx, (rows, chan), rx)
+        signal = tx_power_watts[users] * gains[users, srv, chan]
+        interference = total_rx[rows, chan, srv] - signal
+        interference = np.maximum(interference, 0.0)
+        sinr[rows, users] = signal / (interference + noise_watts)
+    return sinr
+
+
 def compute_link_stats(
     gains: np.ndarray,
     tx_power_watts: np.ndarray,
@@ -133,15 +212,15 @@ def compute_link_stats(
         # interference sum (intra-cell transmissions are orthogonal under
         # constraint 12d, so every other co-channel user belongs to a
         # different cell).
-        rx = gains[offloaded, :, chan] * tx_power_watts[offloaded, None]
-        total_rx = np.zeros((n_channels, n_servers))
         # Accumulation-order contract: np.add.at walks the rows in
         # ascending user order, so each (band, station) bucket is the
         # sequential sum of its members' rx rows by user index.  The
         # delta evaluator (repro.core.delta) rebuilds touched buckets in
         # that same order to stay bitwise equal to this path — do not
         # change the accumulation scheme without updating it.
-        np.add.at(total_rx, chan, rx)
+        total_rx = total_received_power(
+            gains, tx_power_watts, server_of_user, channel_of_user
+        )
 
         signal = tx_power_watts[offloaded] * gains[offloaded, srv, chan]
         interference = total_rx[chan, srv] - signal

@@ -1,0 +1,244 @@
+"""Bitwise equivalence of the scalar, delta and batch evaluation paths.
+
+The batch evaluator's contract is the strongest in the library: for any
+RNG stream, ``use_batch=True`` must reproduce the scalar path's
+trajectory *bit for bit* — every accepted move, every utility value,
+every RNG draw.  These tests drive the ``tests/equivalence.py`` harness
+at paper scale (U=40, S=5, N=20) across 20+ seeds, replay the frozen
+golden trajectories from the seed PR, pin the NumPy row-batching
+identities the vectorized kernels rely on, and property-test the
+interference cache against from-scratch ``net.sinr`` recomputes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.annealing import AnnealingSchedule
+from repro.core.batch import BatchEvaluator
+from repro.core.decision import LOCAL
+from repro.core.objective import ObjectiveEvaluator
+from repro.core.scheduler import TsajsScheduler
+from repro.net.sinr import compute_sinr_batch, total_received_power
+from repro.sim.config import SimulationConfig
+from repro.sim.rng import child_rng
+from repro.sim.scenario import Scenario
+from tests.equivalence import assert_trajectories_identical, run_trajectory
+from tests.test_golden_trajectories import CONFIG as GOLDEN_CONFIG
+from tests.test_golden_trajectories import GOLDEN
+from tests.test_golden_trajectories import SEEDS as GOLDEN_SEEDS
+
+#: Paper-scale configuration (Sec. V's U=40 sweep point).
+PAPER_CONFIG = SimulationConfig(n_users=40, n_servers=5, n_subbands=20)
+PAPER_SEEDS = tuple(range(3000, 3020))  # 20 seeds
+QUICK = AnnealingSchedule(chain_length=15, min_temperature=1e-2)
+
+
+class TestPaperScaleBitwiseIdentity:
+    """Scalar vs delta vs batch at U=40/S=5/N=20 across 20 seeds."""
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("seed", PAPER_SEEDS)
+    def test_batch_matches_scalar(self, seed):
+        scenario = Scenario.build(PAPER_CONFIG, seed=seed)
+        scalar = run_trajectory(scenario, seed, "scalar", schedule=QUICK)
+        batch = run_trajectory(scenario, seed, "batch", schedule=QUICK)
+        assert_trajectories_identical(scalar, batch, compare_evaluations=False)
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("seed", PAPER_SEEDS[:5])
+    def test_delta_matches_scalar(self, seed):
+        scenario = Scenario.build(PAPER_CONFIG, seed=seed)
+        scalar = run_trajectory(scenario, seed, "scalar", schedule=QUICK)
+        delta = run_trajectory(scenario, seed, "delta", schedule=QUICK)
+        assert_trajectories_identical(scalar, delta)
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("batch_size", [1, 7, 256])
+    def test_batch_size_never_changes_the_trajectory(self, batch_size):
+        """The batch is speculative: its size must be unobservable."""
+        seed = PAPER_SEEDS[0]
+        scenario = Scenario.build(PAPER_CONFIG, seed=seed)
+        reference = run_trajectory(
+            scenario, seed, "batch", schedule=QUICK, batch_size=64
+        )
+        other = run_trajectory(
+            scenario, seed, "batch", schedule=QUICK, batch_size=batch_size
+        )
+        assert_trajectories_identical(reference, other, compare_evaluations=False)
+
+
+class TestGoldenTrajectoryReplay:
+    """The batch path walks the frozen trajectories of the seed PR."""
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("seed", GOLDEN_SEEDS)
+    def test_batch_tsajs_matches_golden(self, seed):
+        scenario = Scenario.build(GOLDEN_CONFIG, seed=seed)
+        scheduler = TsajsScheduler(
+            schedule=AnnealingSchedule(chain_length=15, min_temperature=1e-2),
+            use_batch=True,
+        )
+        result = scheduler.schedule(scenario, child_rng(seed, 100))
+        utility, _, accepted = GOLDEN[("TSAJS", seed)]
+        assert result.utility == pytest.approx(utility, rel=1e-9)
+        # The evaluation count is the one golden field batch mode may
+        # change (speculative candidates are scored then discarded); the
+        # accepted-move chain must be untouched.
+        assert result.accepted_moves == accepted
+
+
+class TestEvaluatorBitwiseContract:
+    """evaluate_batch returns the full evaluator's exact bits."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_batch_values_equal_full_reference(self, seed):
+        config = SimulationConfig(n_users=14, n_servers=3, n_subbands=3)
+        scenario = Scenario.build(config, seed=seed)
+        rng = np.random.default_rng(seed)
+        evaluator = BatchEvaluator(scenario)
+        reference = ObjectiveEvaluator(scenario)
+        from repro.core.decision import OffloadingDecision
+        from repro.core.neighborhood import NeighborhoodSampler
+
+        sampler = NeighborhoodSampler()
+        current = OffloadingDecision.random_feasible(
+            scenario.n_users, scenario.n_servers, scenario.n_subbands, rng
+        )
+        evaluator.evaluate(current)
+        for _ in range(15):
+            candidates = [sampler.propose_move(current, rng) for _ in range(9)]
+            values = evaluator.evaluate_batch(candidates)
+            expected = [
+                reference.evaluate_assignment(d.server, d.channel)
+                for d, _ in candidates
+            ]
+            assert [float(v) for v in values] == expected  # exact bits
+            # Commit one accepted candidate to walk a realistic chain.
+            pick = int(rng.integers(len(candidates)))
+            decision, touched = candidates[pick]
+            evaluator.commit(decision, touched)
+            current = decision
+
+
+class TestInterferenceCacheProperties:
+    """Cached per-sub-band interference == from-scratch net.sinr bits."""
+
+    def _assert_cache_matches(self, evaluator, scenario):
+        server = np.asarray(evaluator._server_list)
+        channel = np.asarray(evaluator._channel_list)
+        expected = total_received_power(
+            scenario.gains, scenario.tx_power_watts, server, channel
+        )
+        cached = np.asarray(evaluator._total_rx)
+        assert np.array_equal(cached, expected), (
+            "cached (band, server) received-power buckets diverged from "
+            "the from-scratch net.sinr recompute"
+        )
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_randomized_assignment_sequences(self, seed):
+        config = SimulationConfig(n_users=12, n_servers=4, n_subbands=3)
+        scenario = Scenario.build(config, seed=seed)
+        rng = np.random.default_rng(1000 + seed)
+        evaluator = BatchEvaluator(scenario)
+        U, S, N = scenario.n_users, scenario.n_servers, scenario.n_subbands
+        for _ in range(40):
+            # Random feasible-ish assignment: draw per-user, then clear
+            # slot collisions back to local (the cache contract does not
+            # require feasibility, but the schedulers maintain it).
+            server = rng.integers(-1, S, size=U)
+            channel = np.where(server >= 0, rng.integers(0, N, size=U), LOCAL)
+            used = set()
+            for u in range(U):
+                if server[u] >= 0:
+                    slot = (int(server[u]), int(channel[u]))
+                    if slot in used:
+                        server[u] = LOCAL
+                        channel[u] = LOCAL
+                    else:
+                        used.add(slot)
+            evaluator.evaluate_assignment(server, channel)
+            self._assert_cache_matches(evaluator, scenario)
+
+    def test_cache_exact_after_rebuild(self):
+        config = SimulationConfig(n_users=10, n_servers=3, n_subbands=2)
+        scenario = Scenario.build(config, seed=3)
+        rng = np.random.default_rng(3)
+        evaluator = BatchEvaluator(scenario)
+        from repro.core.decision import OffloadingDecision
+
+        decision = OffloadingDecision.random_feasible(
+            scenario.n_users, scenario.n_servers, scenario.n_subbands, rng
+        )
+        before = evaluator.evaluate(decision)
+        cached_before = [list(row) for row in evaluator._total_rx]
+        evaluator.rebuild()
+        after = evaluator.evaluate(decision)
+        assert before == after  # exact bits across a cache reset
+        assert cached_before == [list(row) for row in evaluator._total_rx]
+        self._assert_cache_matches(evaluator, scenario)
+
+
+class TestNumpyBatchingInvariants:
+    """Pin the NumPy identities the vectorized kernels rely on."""
+
+    def test_row_reduce_equals_per_row_reduce(self):
+        rng = np.random.default_rng(0)
+        matrix = rng.normal(size=(17, 129)) * 10.0 ** rng.integers(
+            -12, 12, size=(17, 129)
+        )
+        batched = np.add.reduce(matrix, axis=1)
+        per_row = np.array([np.add.reduce(row) for row in matrix])
+        assert np.array_equal(batched, per_row)
+
+    def test_add_at_rows_equal_bincount(self):
+        rng = np.random.default_rng(1)
+        n_rows, n_users, n_servers = 11, 40, 5
+        idx = rng.integers(0, n_servers, size=(n_rows, n_users))
+        weights = rng.normal(size=(n_rows, n_users))
+        scattered = np.zeros((n_rows, n_servers))
+        np.add.at(
+            scattered,
+            (np.repeat(np.arange(n_rows), n_users), idx.ravel()),
+            weights.ravel(),
+        )
+        for row in range(n_rows):
+            expected = np.bincount(
+                idx[row], weights=weights[row], minlength=n_servers
+            )
+            assert np.array_equal(scattered[row], expected), row
+
+    def test_log2_is_value_deterministic(self):
+        rng = np.random.default_rng(2)
+        values = 1.0 + np.abs(rng.normal(size=257))
+        whole = np.log2(values)
+        one_by_one = np.array([np.log2(np.array([v]))[0] for v in values])
+        assert np.array_equal(whole, one_by_one)
+
+    def test_bit_generator_state_roundtrip(self):
+        rng = np.random.default_rng(3)
+        rng.random(7)
+        state = rng.bit_generator.state
+        expected = rng.random(5).tolist()
+        rng.random(100)  # wander off
+        rng.bit_generator.state = state
+        assert rng.random(5).tolist() == expected
+
+    def test_batch_sinr_entrypoint_matches_scalar(self):
+        """compute_sinr_batch == compute_link_stats per assignment."""
+        from repro.net.sinr import compute_link_stats
+
+        rng = np.random.default_rng(4)
+        U, S, N = 15, 4, 3
+        gains = rng.lognormal(mean=-20, size=(U, S, N))
+        power = np.full(U, 0.01)
+        servers = rng.integers(-1, S, size=(9, U))
+        channels = np.where(servers >= 0, rng.integers(0, N, size=(9, U)), -1)
+        batch = compute_sinr_batch(gains, power, 1e-13, servers, channels)
+        for b in range(9):
+            stats = compute_link_stats(
+                gains, power, 1e-13, 1e6, servers[b], channels[b]
+            )
+            assert np.array_equal(stats.sinr, batch[b]), b

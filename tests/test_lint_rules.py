@@ -328,6 +328,40 @@ class TestR005Accumulation:
         })
         assert _lint(tmp_path, "R005") == []
 
+    def test_flags_blas_reductions_in_batch_module(self, tmp_path):
+        """core/batch.py falls under R005, including the BLAS ban."""
+        _write_tree(tmp_path, {
+            "repro/core/batch.py": (
+                "import numpy as np\n"
+                "def f(a, b):\n"
+                "    return np.dot(a, b) + np.einsum('ij,j->i', a, b)\n"
+            ),
+        })
+        diags = _lint(tmp_path, "R005")
+        assert len(diags) == 2
+        assert all("BLAS" in d.message for d in diags)
+
+    def test_flags_matmul_operator(self, tmp_path):
+        _write_tree(tmp_path, {
+            "repro/core/batch.py": (
+                "def f(a, b):\n"
+                "    return a @ b\n"
+            ),
+        })
+        diags = _lint(tmp_path, "R005")
+        assert len(diags) == 1
+        assert "@ operator" in diags[0].message
+
+    def test_elementwise_product_with_reduce_is_fine(self, tmp_path):
+        _write_tree(tmp_path, {
+            "repro/core/batch.py": (
+                "import numpy as np\n"
+                "def f(a, b):\n"
+                "    return np.add.reduce(a * b, axis=1)\n"
+            ),
+        })
+        assert _lint(tmp_path, "R005") == []
+
 
 class TestR006ConfigDrift:
     CONFIG = (

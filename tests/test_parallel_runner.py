@@ -9,6 +9,7 @@ every metric except wall-clock time.
 from __future__ import annotations
 
 import math
+import os
 
 import pytest
 
@@ -77,6 +78,26 @@ def test_n_workers_resolved_from_config():
     serial = run_schemes(config, schedulers, seeds, n_jobs=1)
     via_config = run_schemes(config, schedulers, seeds)
     assert_identical_metrics(serial, via_config)
+
+
+@pytest.mark.slow
+def test_oversubscribed_workers_bitwise_identical_to_serial():
+    """n_jobs > os.cpu_count(): oversubscription must not break determinism.
+
+    More workers than cores (and than seeds) changes only how the seed
+    work units are spread over processes — every unit self-seeds, so the
+    merged metrics must still equal the serial run bit for bit.
+    """
+    config = SimulationConfig(
+        n_users=8, n_servers=3, n_subbands=2, use_delta=True
+    )
+    seeds = [1, 2, 3]
+    schedulers = fig4_schedulers()
+    serial = run_schemes(config, schedulers, seeds, n_jobs=1)
+    oversubscribed = run_schemes(
+        config, schedulers, seeds, n_jobs=(os.cpu_count() or 1) + 2
+    )
+    assert_identical_metrics(serial, oversubscribed)
 
 
 def test_runner_rejects_bad_worker_counts():

@@ -8,9 +8,13 @@ from repro.core.scheduler import Scheduler
 from repro.errors import ConfigurationError
 from repro.experiments.schemes import (
     SCHEME_FACTORIES,
+    SchemeOptions,
     available_schemes,
     build_schemes,
 )
+
+QUICK = SchemeOptions(quick=True)
+FULL = SchemeOptions(quick=False)
 
 
 class TestRegistry:
@@ -26,7 +30,7 @@ class TestRegistry:
 
     def test_every_factory_builds_a_scheduler(self):
         for name in available_schemes():
-            scheduler = SCHEME_FACTORIES[name](True)
+            scheduler = SCHEME_FACTORIES[name](QUICK)
             assert isinstance(scheduler, Scheduler), name
             assert scheduler.name == name or name == "Random", name
 
@@ -43,8 +47,8 @@ class TestRegistry:
             build_schemes(["TSAJS", "TSAJS"])
 
     def test_quick_flag_shortens_anneal(self):
-        quick = SCHEME_FACTORIES["TSAJS"](True)
-        full = SCHEME_FACTORIES["TSAJS"](False)
+        quick = SCHEME_FACTORIES["TSAJS"](QUICK)
+        full = SCHEME_FACTORIES["TSAJS"](FULL)
         assert (
             quick.schedule_params.min_temperature
             > full.schedule_params.min_temperature
@@ -52,7 +56,7 @@ class TestRegistry:
 
     def test_schemes_actually_schedule(self, small_random_scenario):
         for name in ("GA", "TSAJS-PC", "Random"):
-            scheduler = SCHEME_FACTORIES[name](True)
+            scheduler = SCHEME_FACTORIES[name](QUICK)
             result = scheduler.schedule(
                 small_random_scenario, np.random.default_rng(0)
             )
