@@ -11,7 +11,7 @@ from typing import List, Optional, Sequence
 
 from repro.lint.engine import lint_paths
 from repro.lint.registry import all_rules
-from repro.lint.reporters import render_json, render_text
+from repro.lint.reporters import render_json, render_sarif, render_text
 
 
 def add_arguments(parser: argparse.ArgumentParser) -> None:
@@ -24,7 +24,7 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="report format (default: text)",
     )
@@ -34,9 +34,27 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
         help="comma-separated rule ids to run (default: all)",
     )
     parser.add_argument(
+        "--rule",
+        action="append",
+        default=None,
+        metavar="R0xx[,R0yy]",
+        help=(
+            "rule id(s) to run; repeatable and comma-splittable, "
+            "combined with --rules"
+        ),
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
         help="print the registered rules and exit",
+    )
+    parser.add_argument(
+        "--timing",
+        action="store_true",
+        help=(
+            "print flow-analysis build time to stderr (CI gates the "
+            "whole-project pass under 10 s)"
+        ),
     )
 
 
@@ -66,9 +84,18 @@ def run(args: argparse.Namespace, prog: str = "repro.lint") -> int:
         print(_list_rules())
         return 0
 
-    rule_ids: Optional[List[str]] = None
+    requested: List[str] = []
     if args.rules is not None:
-        rule_ids = [part.strip() for part in args.rules.split(",") if part.strip()]
+        requested.extend(
+            part.strip() for part in args.rules.split(",") if part.strip()
+        )
+    for chunk in getattr(args, "rule", None) or []:
+        requested.extend(part.strip() for part in chunk.split(",") if part.strip())
+
+    rule_ids: Optional[List[str]] = None
+    if requested:
+        # Deduplicate while keeping first-seen order.
+        rule_ids = list(dict.fromkeys(requested))
         known = {rule.rule_id for rule in all_rules()}
         unknown = sorted(set(rule_ids) - known)
         if unknown:
@@ -79,8 +106,20 @@ def run(args: argparse.Namespace, prog: str = "repro.lint") -> int:
             return 2
 
     result = lint_paths(args.paths, rule_ids=rule_ids)
+    if getattr(args, "timing", False):
+        if result.flow_build_seconds is not None:
+            print(
+                f"{prog}: flow analysis built in "
+                f"{result.flow_build_seconds:.3f}s "
+                f"({result.files_checked} files)",
+                file=sys.stderr,
+            )
+        else:
+            print(f"{prog}: no flow rule ran", file=sys.stderr)
     if args.format == "json":
         print(render_json(result))
+    elif args.format == "sarif":
+        print(render_sarif(result))
     else:
         print(render_text(result))
     return result.exit_code

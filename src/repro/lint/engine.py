@@ -6,7 +6,7 @@ import ast
 import os
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 #: Anything Path() accepts.
 PathInput = Union[str, "os.PathLike[str]"]
@@ -26,6 +26,11 @@ class Project:
     """Everything the project-wide rules see: all parsed files, in order."""
 
     contexts: List[FileContext] = field(default_factory=list)
+    #: Cache slot for the whole-project flow analysis (built lazily by
+    #: ``repro.lint.flow.analyze_project`` so the four flow rules share
+    #: one symbol-table/call-graph/taint pass per invocation).  Typed
+    #: ``Any`` to keep the engine importable without the flow package.
+    flow_cache: Optional[Any] = None
 
     def find_module(self, rel: str) -> Optional[FileContext]:
         """The context whose package-relative path matches, if scanned."""
@@ -42,6 +47,11 @@ class LintResult:
     diagnostics: List[Diagnostic]
     files_checked: int
     suppressed: int
+    #: Rule ids that ran, in execution order (schema v2 reports them).
+    rule_ids: List[str] = field(default_factory=list)
+    #: Wall-clock seconds spent building the whole-project flow
+    #: analysis, or ``None`` when no flow rule ran.
+    flow_build_seconds: Optional[float] = None
 
     @property
     def exit_code(self) -> int:
@@ -49,21 +59,24 @@ class LintResult:
 
 
 def _collect_files(paths: Sequence[Path]) -> List[Path]:
-    files: List[Path] = []
-    seen = set()
+    """Expand targets to a sorted, deduplicated list of ``*.py`` files.
+
+    The walk order is pinned to the *resolved* path, not the argument
+    order, so finding output is byte-stable no matter how the shell
+    expanded a glob (``src/repro/{sim,core}`` vs ``src/repro/{core,sim}``
+    produce identical reports).
+    """
+    by_resolved: Dict[Path, Path] = {}
     for path in paths:
         if path.is_dir():
-            candidates: Iterable[Path] = sorted(path.rglob("*.py"))
+            candidates: Iterable[Path] = path.rglob("*.py")
         elif path.suffix == ".py":
             candidates = [path]
         else:
             candidates = []
         for candidate in candidates:
-            resolved = candidate.resolve()
-            if resolved not in seen:
-                seen.add(resolved)
-                files.append(candidate)
-    return files
+            by_resolved.setdefault(candidate.resolve(), candidate)
+    return [by_resolved[key] for key in sorted(by_resolved)]
 
 
 def _module_parts(path: Path, root: Path) -> Tuple[str, ...]:
@@ -163,5 +176,9 @@ def lint_paths(
         kept.append(diag)
     kept.sort()
     return LintResult(
-        diagnostics=kept, files_checked=len(files), suppressed=suppressed
+        diagnostics=kept,
+        files_checked=len(files),
+        suppressed=suppressed,
+        rule_ids=[rule.rule_id for rule in rules],
+        flow_build_seconds=getattr(project.flow_cache, "build_seconds", None),
     )

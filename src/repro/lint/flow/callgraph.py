@@ -1,0 +1,114 @@
+"""Project call graph resolved through the symbol table.
+
+Edges connect *project* functions only — calls into numpy/stdlib are
+recorded as unresolved and ignored.  Call sites are resolved the same
+way the taint walker resolves them:
+
+* plain names through the module's imports (including re-export hops),
+* ``self.method(...)`` to the method of the enclosing class,
+* ``Class(...)`` constructions to ``Class.__init__``.
+
+The graph powers the pool-capture rule (R010): everything transitively
+reachable from a function submitted to the process pool runs inside a
+worker, so any module-global mutation found in that closure is
+cross-process shared state.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Union
+
+from repro.lint.astutil import dotted_name
+from repro.lint.flow.symbols import FunctionInfo, SymbolTable
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+@dataclass
+class CallSite:
+    """One resolved call edge origin."""
+
+    caller: str
+    callee: str
+    node: ast.Call
+
+
+@dataclass
+class CallGraph:
+    """Caller → callee edges over the project's own functions."""
+
+    edges: Dict[str, Set[str]] = field(default_factory=dict)
+    reverse: Dict[str, Set[str]] = field(default_factory=dict)
+    sites: List[CallSite] = field(default_factory=list)
+
+    @classmethod
+    def build(cls, symbols: SymbolTable) -> "CallGraph":
+        graph = cls()
+        for info in symbols.all_functions():
+            graph.edges.setdefault(info.qualified, set())
+            for call in cls._calls_in(info.node):
+                callee = cls.resolve_call(symbols, info, call)
+                if callee is None:
+                    continue
+                graph.add_edge(info.qualified, callee, call)
+        return graph
+
+    def add_edge(self, caller: str, callee: str, node: ast.Call) -> None:
+        self.edges.setdefault(caller, set()).add(callee)
+        self.reverse.setdefault(callee, set()).add(caller)
+        self.sites.append(CallSite(caller=caller, callee=callee, node=node))
+
+    @staticmethod
+    def _calls_in(fn: FunctionNode) -> List[ast.Call]:
+        """Every call in the function, nested defs/lambdas *included*.
+
+        A closure defined inside ``f`` executes with ``f``'s bindings, so
+        for reachability purposes its calls belong to ``f``.
+        """
+        return [node for node in ast.walk(fn) if isinstance(node, ast.Call)]
+
+    @staticmethod
+    def resolve_call(
+        symbols: SymbolTable, caller: FunctionInfo, call: ast.Call
+    ) -> Optional[str]:
+        """Qualified name of the project function a call lands on."""
+        name = dotted_name(call.func)
+        if name is None:
+            return None
+        if name[0] == "self" and len(name) >= 2 and caller.class_name is not None:
+            candidate = ".".join(
+                (caller.module, caller.class_name) + name[1:]
+            )
+            if symbols.function(candidate) is not None:
+                return candidate
+            return None
+        resolved = symbols.resolve(caller.module, name)
+        if resolved is None:
+            return None
+        if symbols.function(resolved) is not None:
+            return resolved
+        if symbols.class_info(resolved) is not None:
+            init = f"{resolved}.__init__"
+            if symbols.function(init) is not None:
+                return init
+        return None
+
+    def callees(self, qualified: str) -> Set[str]:
+        return set(self.edges.get(qualified, set()))
+
+    def callers(self, qualified: str) -> Set[str]:
+        return set(self.reverse.get(qualified, set()))
+
+    def transitive(self, qualified: str) -> Set[str]:
+        """All functions reachable from ``qualified`` (itself included)."""
+        seen: Set[str] = set()
+        stack = [qualified]
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            stack.extend(self.edges.get(current, ()))
+        return seen

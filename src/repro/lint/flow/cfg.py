@@ -1,0 +1,138 @@
+"""Per-function CFG-lite: statement order, branch structure, loop depth.
+
+The flow rules do not need a full control-flow graph with dominators —
+they need three structural facts a plain ``ast.walk`` loses:
+
+* **execution order** — which statement runs before which, so a rule can
+  ask whether a binding happens before its use;
+* **branch grouping** — which statements are alternatives (the arms of an
+  ``if``/``try``) rather than a sequence;
+* **loop depth** — whether an expression sits inside a loop body and
+  therefore executes repeatedly.  This is the fact the RNG-aliasing rule
+  is built on: submitting a stream created *outside* a loop from *inside*
+  the loop shares one stream across every task, while deriving the
+  stream inside the body creates a fresh one per iteration.
+
+:class:`FunctionCFG` numbers the statements of one function in source
+order, records each statement's loop depth and successor statements, and
+exposes ``loop_depth_of`` for any descendant AST node (expressions
+included).  Nested function and lambda bodies are *excluded* — they are
+separate code units with their own CFG, and their bodies do not execute
+where they are defined.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Sequence, Union
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+_LOOPS = (ast.For, ast.AsyncFor, ast.While)
+_NESTED = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+
+@dataclass
+class CFGNode:
+    """One statement of the function body."""
+
+    index: int
+    stmt: ast.stmt
+    loop_depth: int
+    #: Indices of statements that can execute immediately after this one
+    #: (fall-through plus branch entries; loops edge back to themselves).
+    successors: List[int] = field(default_factory=list)
+
+
+class FunctionCFG:
+    """CFG-lite over one function (or module) body."""
+
+    def __init__(self) -> None:
+        self.nodes: List[CFGNode] = []
+        #: id(ast node) -> loop depth, for every descendant expression.
+        self._depth_by_id: Dict[int, int] = {}
+        #: id(ast node) -> owning statement index.
+        self._stmt_by_id: Dict[int, int] = {}
+
+    @classmethod
+    def build(cls, fn: Union[FunctionNode, ast.Module]) -> "FunctionCFG":
+        cfg = cls()
+        cfg._walk_body(fn.body, loop_depth=0)
+        cfg._link_successors()
+        return cfg
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def _walk_body(self, body: Sequence[ast.stmt], loop_depth: int) -> None:
+        for stmt in body:
+            node = CFGNode(index=len(self.nodes), stmt=stmt, loop_depth=loop_depth)
+            self.nodes.append(node)
+            self._index_expressions(stmt, node.index, loop_depth)
+            inner_depth = loop_depth + (1 if isinstance(stmt, _LOOPS) else 0)
+            for part in ("body", "orelse", "finalbody"):
+                nested = getattr(stmt, part, None)
+                if nested:
+                    self._walk_body(nested, inner_depth)
+            for handler in getattr(stmt, "handlers", ()) or ():
+                self._walk_body(handler.body, loop_depth)
+
+    def _index_expressions(
+        self, stmt: ast.stmt, index: int, loop_depth: int
+    ) -> None:
+        """Record depth/owner for the statement's own expressions.
+
+        Stops at nested statements (they get their own CFG node) and at
+        nested function/lambda bodies (separate code units).
+        """
+        stack: List[ast.AST] = [stmt]
+        first = True
+        while stack:
+            node = stack.pop()
+            if not first and isinstance(node, ast.stmt):
+                continue
+            first = False
+            self._depth_by_id[id(node)] = loop_depth
+            self._stmt_by_id[id(node)] = index
+            if isinstance(node, _NESTED):
+                # Index the def/lambda itself but not its body.
+                continue
+            for child in ast.iter_child_nodes(node):
+                stack.append(child)
+
+    def _link_successors(self) -> None:
+        """Fall-through edges plus a back-edge for loop headers."""
+        by_stmt = {id(node.stmt): node for node in self.nodes}
+        for node in self.nodes:
+            if node.index + 1 < len(self.nodes):
+                node.successors.append(node.index + 1)
+            if isinstance(node.stmt, _LOOPS):
+                # The loop re-enters its own header after the body.
+                node.successors.append(node.index)
+            for part in ("body", "orelse", "finalbody"):
+                nested = getattr(node.stmt, part, None)
+                if nested:
+                    entry = by_stmt.get(id(nested[0]))
+                    if entry is not None and entry.index not in node.successors:
+                        node.successors.append(entry.index)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def statements(self) -> Iterator[CFGNode]:
+        """Statements in source (reverse-postorder-equivalent) order."""
+        return iter(self.nodes)
+
+    def loop_depth_of(self, node: ast.AST) -> int:
+        """Loop depth of any indexed statement or expression (0 = none)."""
+        return self._depth_by_id.get(id(node), 0)
+
+    def statement_index_of(self, node: ast.AST) -> int:
+        """Index of the statement owning ``node`` (-1 if unindexed)."""
+        return self._stmt_by_id.get(id(node), -1)
+
+    def in_loop(self, node: ast.AST) -> bool:
+        return self.loop_depth_of(node) > 0

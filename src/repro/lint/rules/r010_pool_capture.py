@@ -1,0 +1,275 @@
+"""R010 — no mutable shared state reachable from pool-submitted work.
+
+A function handed to ``ProcessPoolExecutor.submit`` (or ``.map``) runs
+in a worker process.  Any module-level mutable container it — or
+anything it transitively calls — writes to is shared state in spirit:
+under a thread pool or fork-start it literally races, and under spawn
+it silently diverges per worker, so results depend on which worker ran
+which task.  Either way the run is no longer a pure function of
+``(scenario, seed, stream)`` and the crash-recovery journal can replay
+to a different answer.
+
+The rule is built on the flow layer: the call graph gives the set of
+functions transitively reachable from each submitted callable, the
+symbol table records which module-level names are bound to mutable
+containers (dict/list/set displays or constructor calls), and the rule
+flags:
+
+* subscript/attribute stores on such a module-level binding
+  (``_CACHE[key] = value``) inside reachable code;
+* mutating method calls (``append``/``update``/``setdefault``/...) on
+  such a binding;
+* ``global X`` rebinding of a mutable module-level container;
+* closures submitted to an executor that mutate a mutable container
+  captured from the enclosing scope.
+
+Read-only module constants (tunables like default worker counts) are
+fine and not flagged — the hazard is mutation, not access.  Fix by
+passing state in task arguments and returning results, or by keying
+caches per-process and treating them as pure memoisation of
+deterministic functions.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set, Tuple, Union
+
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.engine import Project
+from repro.lint.flow import analyze_project
+from repro.lint.flow.symbols import _is_mutable_value
+from repro.lint.flow.taint import EXECUTOR, FunctionTaint, TaintAnalysis
+from repro.lint.registry import register
+from repro.lint.rules_base import Rule
+from repro.lint.rules.r009_rng_aliasing import (
+    SUBMIT_METHODS,
+    _free_names,
+    _nested_defs,
+)
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+#: Method names that mutate their receiver in place.
+MUTATING_METHODS = {
+    "append",
+    "appendleft",
+    "extend",
+    "insert",
+    "add",
+    "update",
+    "setdefault",
+    "pop",
+    "popitem",
+    "popleft",
+    "remove",
+    "discard",
+    "clear",
+    "sort",
+    "reverse",
+}
+
+
+@register
+class PoolCaptureRule(Rule):
+    rule_id = "R010"
+    title = "pool-submitted work must not mutate shared module state"
+    rationale = (
+        "Functions reachable from an executor submission run in workers; "
+        "mutating module-level containers there makes results depend on "
+        "task-to-worker placement and breaks journal replay — pass state "
+        "through arguments and return values instead."
+    )
+
+    def check_project(self, project: Project) -> Iterator[Diagnostic]:
+        analysis = analyze_project(project)
+        taint = analysis.taint
+        #: Roots: qualified names of callables handed to an executor.
+        roots: List[Tuple[str, FunctionTaint]] = []
+        for qualified in sorted(taint.functions):
+            fnt = taint.functions[qualified]
+            for record in fnt.calls:
+                submitted = self._submitted_callable(taint, fnt, record.node)
+                if submitted is not None:
+                    roots.append((submitted, fnt))
+                yield from self._check_closure_mutation(taint, fnt, record.node)
+        reachable: Set[str] = set()
+        for submitted, _ in roots:
+            reachable |= analysis.callgraph.transitive(submitted)
+        for qualified in sorted(reachable):
+            fnt = taint.functions.get(qualified)
+            if fnt is None:
+                continue
+            yield from self._check_worker_body(taint, fnt)
+
+    # ------------------------------------------------------------------
+
+    def _submitted_callable(
+        self, taint: TaintAnalysis, fnt: FunctionTaint, call: ast.Call
+    ) -> Optional[str]:
+        """Qualified project function submitted at this call site."""
+        func = call.func
+        if not (
+            isinstance(func, ast.Attribute)
+            and func.attr in SUBMIT_METHODS
+            and EXECUTOR in taint.kinds_of(fnt, func.value)
+        ):
+            return None
+        if not call.args:
+            return None
+        target = call.args[0]
+        if isinstance(target, ast.Name):
+            return taint.symbols.resolve(fnt.info.module, (target.id,))
+        if isinstance(target, ast.Attribute):
+            parts: List[str] = []
+            node: ast.expr = target
+            while isinstance(node, ast.Attribute):
+                parts.append(node.attr)
+                node = node.value
+            if isinstance(node, ast.Name):
+                parts.append(node.id)
+                return taint.symbols.resolve(
+                    fnt.info.module, tuple(reversed(parts))
+                )
+        return None
+
+    def _check_worker_body(
+        self, taint: TaintAnalysis, fnt: FunctionTaint
+    ) -> Iterator[Diagnostic]:
+        """Flag module-global mutations inside pool-reachable code."""
+        module = taint.symbols.modules.get(fnt.info.module)
+        if module is None:
+            return
+        mutable = set(module.mutable_globals)
+        if not mutable:
+            return
+        locals_bound = _bound_names(fnt.info.node)
+        shared = mutable - locals_bound
+        declared_global = {
+            name
+            for stmt in ast.walk(fnt.info.node)
+            if isinstance(stmt, ast.Global)
+            for name in stmt.names
+        }
+        shared |= mutable & declared_global
+        if not shared:
+            return
+        for node in ast.walk(fnt.info.node):
+            name = _mutated_global(node, shared)
+            if name is not None:
+                yield fnt.info.ctx.diagnostic(
+                    self.rule_id,
+                    node,
+                    f"'{fnt.info.local_name}' is reachable from an "
+                    f"executor submission but mutates module-level "
+                    f"container '{name}'; workers must not share mutable "
+                    "state — pass it via task arguments/returns",
+                )
+
+    def _check_closure_mutation(
+        self, taint: TaintAnalysis, fnt: FunctionTaint, call: ast.Call
+    ) -> Iterator[Diagnostic]:
+        """Closures submitted to an executor mutating captured containers."""
+        func = call.func
+        if not (
+            isinstance(func, ast.Attribute)
+            and func.attr in SUBMIT_METHODS
+            and EXECUTOR in taint.kinds_of(fnt, func.value)
+        ):
+            return
+        if not call.args:
+            return
+        target = call.args[0]
+        nested = _nested_defs(fnt.info.node)
+        body: Optional[ast.AST] = None
+        label = ""
+        if isinstance(target, ast.Lambda):
+            body, label = target, "lambda"
+        elif isinstance(target, ast.Name) and target.id in nested:
+            body, label = nested[target.id], f"closure '{target.id}'"
+        if body is None:
+            return
+        captured_mutables = self._enclosing_mutables(taint, fnt)
+        free = _free_names(body)
+        for node in ast.walk(body):
+            name = _mutated_global(node, free & captured_mutables)
+            if name is not None:
+                yield fnt.info.ctx.diagnostic(
+                    self.rule_id,
+                    call,
+                    f"{label} submitted to the executor mutates captured "
+                    f"mutable '{name}'; worker-side mutation of enclosing "
+                    "state is lost (spawn) or racy (threads) — return the "
+                    "value instead",
+                )
+                return
+
+    def _enclosing_mutables(
+        self, taint: TaintAnalysis, fnt: FunctionTaint
+    ) -> Set[str]:
+        """Names bound to mutable containers in the enclosing scopes."""
+        module = taint.symbols.modules.get(fnt.info.module)
+        names: Set[str] = set(module.mutable_globals) if module else set()
+        for stmt in ast.walk(fnt.info.node):
+            if isinstance(stmt, ast.Assign) and _is_mutable_value(stmt.value):
+                for assign_target in stmt.targets:
+                    if isinstance(assign_target, ast.Name):
+                        names.add(assign_target.id)
+        return names
+
+
+def _bound_names(fn: FunctionNode) -> Set[str]:
+    """Names assigned (parameters included) anywhere in the function."""
+    bound: Set[str] = set()
+    args = fn.args
+    for arg in args.posonlyargs + args.args + args.kwonlyargs:
+        bound.add(arg.arg)
+    if args.vararg:
+        bound.add(args.vararg.arg)
+    if args.kwarg:
+        bound.add(args.kwarg.arg)
+    declared_global: Set[str] = set()
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Global):
+            declared_global.update(node.names)
+        elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+            bound.add(node.id)
+    return bound - declared_global
+
+
+def _mutated_global(node: ast.AST, shared: Set[str]) -> Optional[str]:
+    """The shared name this AST node mutates, if any."""
+    if not shared:
+        return None
+    if isinstance(node, (ast.Assign, ast.AugAssign)):
+        targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+        for target in targets:
+            if (
+                isinstance(target, (ast.Subscript, ast.Attribute))
+                and isinstance(target.value, ast.Name)
+                and target.value.id in shared
+            ):
+                return target.value.id
+            if isinstance(target, ast.Name) and target.id in shared:
+                # A plain rebinding only lands here when the name was
+                # declared ``global`` (local stores are filtered out of
+                # ``shared`` by the caller).
+                return target.id
+    if isinstance(node, ast.Call):
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in MUTATING_METHODS
+            and isinstance(func.value, ast.Name)
+            and func.value.id in shared
+        ):
+            return func.value.id
+    if isinstance(node, ast.Delete):
+        for target in node.targets:
+            if (
+                isinstance(target, ast.Subscript)
+                and isinstance(target.value, ast.Name)
+                and target.value.id in shared
+            ):
+                return target.value.id
+    return None

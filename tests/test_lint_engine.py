@@ -12,7 +12,7 @@ import pytest
 
 from repro.lint import all_rules, get_rule, lint_paths
 from repro.lint.engine import PARSE_ERROR
-from repro.lint.reporters import render_json, render_text
+from repro.lint.reporters import render_json, render_sarif, render_text
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 SRC = REPO_ROOT / "src"
@@ -26,10 +26,11 @@ def _write(root: Path, rel: str, source: str) -> Path:
 
 
 class TestRegistry:
-    def test_all_eight_rules_registered(self):
+    def test_all_twelve_rules_registered(self):
         ids = [rule.rule_id for rule in all_rules()]
         assert ids == [
             "R001", "R002", "R003", "R004", "R005", "R006", "R007", "R008",
+            "R009", "R010", "R011", "R012",
         ]
 
     def test_rules_carry_title_and_rationale(self):
@@ -113,15 +114,37 @@ class TestReporters:
     def test_json_report_schema(self, tmp_path):
         payload = json.loads(render_json(self._result(tmp_path)))
         assert set(payload) == {
-            "version", "files_checked", "suppressed", "findings"
+            "version", "files_checked", "suppressed", "findings", "rules"
         }
-        assert payload["version"] == 1
+        assert payload["version"] == 2
         assert payload["files_checked"] == 1
         assert payload["suppressed"] == 0
+        assert payload["rules"] == ["R005"]
         (finding,) = payload["findings"]
         assert set(finding) == {"rule", "path", "line", "col", "message"}
         assert finding["rule"] == "R005"
         assert finding["line"] == 1
+
+    def test_json_schema_v1_keys_still_present(self, tmp_path):
+        # v2 is additive: every v1 consumer key survives unchanged.
+        payload = json.loads(render_json(self._result(tmp_path)))
+        for key in ("version", "files_checked", "suppressed", "findings"):
+            assert key in payload
+
+    def test_sarif_report_shape(self, tmp_path):
+        payload = json.loads(render_sarif(self._result(tmp_path)))
+        assert payload["version"] == "2.1.0"
+        (run,) = payload["runs"]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "repro.lint"
+        assert [entry["id"] for entry in driver["rules"]] == ["R005"]
+        (finding,) = run["results"]
+        assert finding["ruleId"] == "R005"
+        assert finding["ruleIndex"] == 0
+        region = finding["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] == 1
+        # SARIF columns are 1-based; the engine's are 0-based.
+        assert region["startColumn"] >= 1
 
     def test_findings_are_sorted(self, tmp_path):
         _write(tmp_path, "repro/core/b.py", "x = sum([1.0])\n")
@@ -179,6 +202,7 @@ class TestCli:
         out = capsys.readouterr().out
         for rule_id in (
             "R001", "R002", "R003", "R004", "R005", "R006", "R007", "R008",
+            "R009", "R010", "R011", "R012",
         ):
             assert rule_id in out
 
@@ -192,6 +216,81 @@ class TestCli:
 
         _write(tmp_path, "repro/core/x.py", "total = sum([1.0])\n")
         assert main([str(tmp_path), "--rules", "R001"]) == 0
+
+    def test_rule_flag_repeatable_and_comma_splittable(self, tmp_path, capsys):
+        from repro.lint.cli import main
+
+        _write(
+            tmp_path,
+            "repro/core/x.py",
+            "import random\ntotal = sum([1.0])\n",
+        )
+        # --rule R001 alone: misses the R005 finding.
+        assert main([str(tmp_path), "--rule", "R001"]) == 0
+        capsys.readouterr()
+        # Repeated + comma-separated forms combine.
+        code = main(
+            [str(tmp_path), "--rule", "R001,R002", "--rule", "R005",
+             "--format", "json"]
+        )
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["rules"] == ["R001", "R002", "R005"]
+        assert [f["rule"] for f in payload["findings"]] == ["R005"]
+
+    def test_rule_flag_unknown_id_exits_2(self, capsys):
+        from repro.lint.cli import main
+
+        assert main(["--rule", "R999", "src"]) == 2
+
+    def test_sarif_cli_format(self, tmp_path, capsys):
+        from repro.lint.cli import main
+
+        _write(tmp_path, "repro/core/x.py", "total = sum([1.0])\n")
+        assert main([str(tmp_path), "--rules", "R005", "--format", "sarif"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == "2.1.0"
+        assert payload["runs"][0]["results"]
+
+
+class TestFileCollection:
+    """The engine walks targets in sorted, deduplicated resolved order."""
+
+    def test_order_independent_of_argument_order(self, tmp_path):
+        _write(tmp_path, "repro/core/b.py", "x = sum([1.0])\n")
+        _write(tmp_path, "repro/sim/a.py", "total = 0\n")
+        forward = lint_paths(
+            [tmp_path / "repro/core", tmp_path / "repro/sim"], root=tmp_path
+        )
+        backward = lint_paths(
+            [tmp_path / "repro/sim", tmp_path / "repro/core"], root=tmp_path
+        )
+        assert render_text(forward) == render_text(backward)
+        assert [d.render() for d in forward.diagnostics] == [
+            d.render() for d in backward.diagnostics
+        ]
+
+    def test_overlapping_targets_deduplicate(self, tmp_path):
+        _write(tmp_path, "repro/core/x.py", "total = sum([1.0])\n")
+        once = lint_paths([tmp_path], root=tmp_path)
+        twice = lint_paths(
+            [tmp_path, tmp_path / "repro/core/x.py", tmp_path],
+            root=tmp_path,
+        )
+        assert twice.files_checked == once.files_checked
+        assert len(twice.diagnostics) == len(once.diagnostics)
+
+    def test_collection_is_sorted(self, tmp_path):
+        from repro.lint.engine import _collect_files
+
+        _write(tmp_path, "repro/core/z.py", "A = 1\n")
+        _write(tmp_path, "repro/core/a.py", "B = 2\n")
+        _write(tmp_path, "repro/sim/m.py", "C = 3\n")
+        files = _collect_files(
+            [tmp_path / "repro/sim", tmp_path / "repro/core"]
+        )
+        resolved = [f.resolve() for f in files]
+        assert resolved == sorted(resolved)
 
 
 class TestShippedTreeIsClean:
@@ -207,3 +306,23 @@ class TestShippedTreeIsClean:
         # The satellites fixed every violation outright; keep it that way.
         result = lint_paths([SRC], root=REPO_ROOT)
         assert result.suppressed == 0
+
+    def test_src_tree_clean_under_flow_rules_without_suppressions(self):
+        # The flow rules (R009-R012) must hold on src/ by construction,
+        # not by suppression comments.
+        result = lint_paths(
+            [SRC], rule_ids=["R009", "R010", "R011", "R012"], root=REPO_ROOT
+        )
+        rendered = "\n".join(d.render() for d in result.diagnostics)
+        assert result.diagnostics == [], f"flow findings on src/:\n{rendered}"
+        assert result.suppressed == 0
+        src_text = "\n".join(
+            p.read_text(encoding="utf-8") for p in SRC.rglob("*.py")
+        )
+        for rule_id in ("R009", "R010", "R011", "R012"):
+            assert f"disable={rule_id}" not in src_text
+
+    def test_flow_analysis_builds_under_ten_seconds(self):
+        result = lint_paths([SRC], root=REPO_ROOT)
+        assert result.flow_build_seconds is not None
+        assert result.flow_build_seconds < 10.0
