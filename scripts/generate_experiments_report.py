@@ -36,6 +36,7 @@ from repro.experiments import (
     fig8_runtime,
     fig9_preferences,
 )
+from repro.atomicio import atomic_write_text
 from repro.experiments.ext_fading import ExtFadingSettings as ExtFadingDefaults
 from repro.experiments.report import render_text
 
@@ -138,7 +139,9 @@ def main(argv=None) -> int:
         output = runner()
         elapsed = time.perf_counter() - start
         text = render_text(output)
-        (out_dir / f"{experiment_id}.txt").write_text(text + "\n")
+        # Crash-safe: a run killed mid-write leaves the previous table
+        # intact instead of a torn results/ artifact.
+        atomic_write_text(out_dir / f"{experiment_id}.txt", text + "\n")
         print(text)
         print(f"[{experiment_id} finished in {elapsed:.1f}s]\n", flush=True)
     return 0

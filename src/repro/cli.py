@@ -8,6 +8,12 @@ Sub-commands
 ``tsajs run <experiment-id> [--quick] [--workers N] [--out FILE]``
     Run one experiment and print (and optionally save) its table.
     ``--workers`` fans the seeds over worker processes (same results).
+    ``--backend serial|pool|queue`` picks the sweep executor;
+    ``--cache DIR`` reuses previously computed (scheme, seed) cells
+    from a crash-safe content-addressed store (see ``docs/caching.md``).
+``tsajs worker QUEUE_DIR [--drain]``
+    Drain task files from a ``run --backend queue --queue-dir`` sweep;
+    run any number of workers, on any machine sharing the directory.
 ``tsajs solve [--users U --servers S --subbands N --delta --batch ...]``
     Solve a single random instance with the selected schemes and print
     the utilities side by side — a one-command demo of the library.
@@ -92,6 +98,27 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     run_parser.add_argument(
+        "--backend",
+        choices=["serial", "pool", "queue"],
+        default=None,
+        metavar="NAME",
+        help=(
+            "sweep execution backend: serial (in-process), pool "
+            "(process pool, uses --workers), or queue (file-based work "
+            "queue in --queue-dir drained by 'tsajs worker' processes); "
+            "results are byte-identical on every backend"
+        ),
+    )
+    run_parser.add_argument(
+        "--queue-dir",
+        metavar="DIR",
+        help=(
+            "work-queue directory for --backend queue; point any number "
+            "of 'tsajs worker DIR' processes (on any machine sharing "
+            "the directory) at it to help drain the sweep"
+        ),
+    )
+    run_parser.add_argument(
         "--journal",
         metavar="FILE",
         help=(
@@ -100,11 +127,33 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     run_parser.add_argument(
+        "--cache",
+        metavar="DIR",
+        help=(
+            "content-addressed result cache: every computed (scheme, "
+            "seed) cell is stored under a key derived from the config, "
+            "scheme, seed and code fingerprint, written atomically with "
+            "a checksum; later runs (any experiment, any machine "
+            "sharing DIR) reuse matching cells and corrupt entries are "
+            "quarantined and recomputed"
+        ),
+    )
+    run_parser.add_argument(
         "--resume",
         action="store_true",
         help=(
             "load the --journal file and re-run only the missing cells; "
-            "results are byte-identical to an uninterrupted run"
+            "results are byte-identical to an uninterrupted run "
+            "(--cache resumes by default)"
+        ),
+    )
+    run_parser.add_argument(
+        "--no-resume",
+        action="store_true",
+        help=(
+            "ignore previously persisted cells: truncate the --journal "
+            "file / recompute despite --cache hits (use this after a "
+            "stale-code-fingerprint error)"
         ),
     )
     run_parser.add_argument(
@@ -151,6 +200,40 @@ def _build_parser() -> argparse.ArgumentParser:
             "sanitizer and assert per-stream RNG ledgers and outputs "
             "are identical (incompatible with --journal/--workers)"
         ),
+    )
+
+    worker_parser = sub.add_parser(
+        "worker",
+        help="drain a work-queue directory (see tsajs run --backend queue)",
+    )
+    worker_parser.add_argument(
+        "queue_dir", help="queue directory created by tsajs run --queue-dir"
+    )
+    worker_parser.add_argument(
+        "--drain",
+        action="store_true",
+        help="exit once the task directory is empty instead of polling",
+    )
+    worker_parser.add_argument(
+        "--poll",
+        type=float,
+        default=0.05,
+        metavar="SECONDS",
+        help="idle poll period",
+    )
+    worker_parser.add_argument(
+        "--heartbeat",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="lease heartbeat period (coordinators expire silent leases)",
+    )
+    worker_parser.add_argument(
+        "--max-tasks",
+        type=int,
+        default=None,
+        metavar="N",
+        help="stop after processing N tasks",
     )
 
     solve_parser = sub.add_parser("solve", help="solve one random instance")
@@ -351,16 +434,57 @@ def _cmd_run(
     telemetry: Optional[str] = None,
     profile: bool = False,
     sanitize: bool = False,
+    backend: Optional[str] = None,
+    queue_dir: Optional[str] = None,
+    cache: Optional[str] = None,
+    no_resume: bool = False,
 ) -> int:
     if resume and journal_path is None:
         print("error: --resume requires --journal FILE", file=sys.stderr)
         return 2
+    if resume and no_resume:
+        print(
+            "error: --resume and --no-resume are mutually exclusive",
+            file=sys.stderr,
+        )
+        return 2
+    if no_resume and journal_path is None and cache is None:
+        print(
+            "error: --no-resume requires --journal FILE or --cache DIR",
+            file=sys.stderr,
+        )
+        return 2
+    if journal_path is not None and cache is not None:
+        print(
+            "error: --journal and --cache both install the seed "
+            "checkpoint store; pick one",
+            file=sys.stderr,
+        )
+        return 2
+    if backend == "queue" and queue_dir is None:
+        print(
+            "error: --backend queue requires --queue-dir DIR",
+            file=sys.stderr,
+        )
+        return 2
+    if queue_dir is not None and backend != "queue":
+        print(
+            "error: --queue-dir only applies to --backend queue",
+            file=sys.stderr,
+        )
+        return 2
     if sanitize:
-        if journal_path is not None or telemetry is not None or workers != 1:
+        if (
+            journal_path is not None
+            or telemetry is not None
+            or workers != 1
+            or backend is not None
+            or cache is not None
+        ):
             print(
                 "error: --sanitize replays the experiment serially and "
-                "cannot be combined with --journal, --telemetry or "
-                "--workers",
+                "cannot be combined with --journal, --cache, --backend, "
+                "--telemetry or --workers",
                 file=sys.stderr,
             )
             return 2
@@ -369,7 +493,6 @@ def _cmd_run(
         print("error: --profile requires --telemetry DIR", file=sys.stderr)
         return 2
     if telemetry is not None:
-        import json as json_module
         from pathlib import Path
 
         from repro.obs.profile import set_profiling
@@ -385,15 +508,18 @@ def _cmd_run(
             status = _cmd_run_body(
                 experiment_id, quick, out, json_out, workers,
                 journal_path, resume, retries, seed_timeout,
+                backend, queue_dir, cache, no_resume,
             )
         finally:
             set_recorder(None)
             if profile:
                 set_profiling(None)
             recorder.close()
-        with open(telemetry_dir / "metrics.json", "w", encoding="utf-8") as handle:
-            json_module.dump(recorder.snapshot(), handle, indent=2, sort_keys=True)
-            handle.write("\n")
+        from repro.atomicio import atomic_write_json
+
+        atomic_write_json(
+            telemetry_dir / "metrics.json", recorder.snapshot(), indent=2
+        )
         print(
             f"[telemetry: {recorder.n_records} trace records and a metrics "
             f"snapshot written to {telemetry_dir}]"
@@ -402,6 +528,7 @@ def _cmd_run(
     return _cmd_run_body(
         experiment_id, quick, out, json_out, workers,
         journal_path, resume, retries, seed_timeout,
+        backend, queue_dir, cache, no_resume,
     )
 
 
@@ -448,8 +575,9 @@ def _cmd_run_sanitized(
         return 1
     print(texts[1])
     if out:
-        with open(out, "w") as handle:
-            handle.write(texts[1] + "\n")
+        from repro.atomicio import atomic_write_text
+
+        atomic_write_text(out, texts[1] + "\n")
         print(f"\n[written to {out}]")
     if json_out and output is not None:
         from repro.experiments.persistence import save_output
@@ -473,6 +601,10 @@ def _cmd_run_body(
     resume: bool = False,
     retries: Optional[int] = None,
     seed_timeout: Optional[float] = None,
+    backend: Optional[str] = None,
+    queue_dir: Optional[str] = None,
+    cache: Optional[str] = None,
+    no_resume: bool = False,
 ) -> int:
     if workers != 1:
         from repro.sim.runner import set_default_n_workers
@@ -483,6 +615,18 @@ def _cmd_run_body(
         from repro.sim.runner import set_default_journal
 
         set_default_journal(SweepJournal(journal_path, resume=resume))
+    if cache is not None:
+        from repro.experiments.cache import ResultCache
+        from repro.sim.runner import set_default_journal
+
+        set_default_journal(ResultCache(cache, resume=not no_resume))
+    if backend is not None:
+        from repro.sim.executors import make_executor
+        from repro.sim.runner import set_default_executor
+
+        set_default_executor(
+            make_executor(backend, n_jobs=workers, queue_dir=queue_dir)
+        )
     if retries is not None or seed_timeout is not None:
         from repro.sim.runner import RetryPolicy, set_default_retry
 
@@ -497,14 +641,36 @@ def _cmd_run_body(
     text = render_text(output)
     print(text)
     if out:
-        with open(out, "w") as handle:
-            handle.write(text + "\n")
+        from repro.atomicio import atomic_write_text
+
+        atomic_write_text(out, text + "\n")
         print(f"\n[written to {out}]")
     if json_out:
         from repro.experiments.persistence import save_output
 
         save_output(output, json_out)
         print(f"[structured result written to {json_out}]")
+    return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    """Drain a work-queue directory (the ``tsajs worker`` subcommand)."""
+    from pathlib import Path
+
+    from repro.sim.executors.worker import QueueWorker
+
+    worker = QueueWorker(
+        Path(args.queue_dir), poll_s=args.poll, heartbeat_s=args.heartbeat
+    )
+    try:
+        if args.drain:
+            processed = worker.drain(max_tasks=args.max_tasks)
+        else:
+            processed = worker.run_forever(max_tasks=args.max_tasks)
+    except KeyboardInterrupt:
+        print("[worker: interrupted]", file=sys.stderr)
+        return 130
+    print(f"[worker: processed {processed} task(s) from {args.queue_dir}]")
     return 0
 
 
@@ -874,7 +1040,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             telemetry=args.telemetry,
             profile=args.profile,
             sanitize=args.sanitize,
+            backend=args.backend,
+            queue_dir=args.queue_dir,
+            cache=args.cache,
+            no_resume=args.no_resume,
         )
+    if args.command == "worker":
+        return _cmd_worker(args)
     if args.command == "solve":
         return _cmd_solve(args)
     if args.command == "schemes":

@@ -24,6 +24,7 @@ import os
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.atomicio import atomic_write_text
 from repro.core.scheduler import Scheduler
 from repro.errors import ConfigurationError
 from repro.experiments.report import ExperimentOutput
@@ -40,7 +41,10 @@ _METRICS_TAG = "__solution_metrics__"
 #: Schema version written into every file (bump on format changes).
 #: v1: SummaryStats tagging only.
 #: v2: adds SolutionMetrics tagging and the sweep-journal line format.
-FORMAT_VERSION = 2
+#: v3: every sweep-journal line carries the writing build's code
+#:     fingerprint, so stale checkpoints are rejected instead of being
+#:     silently mixed into a resumed sweep.
+FORMAT_VERSION = 3
 
 
 def _encode(value: Any) -> Any:
@@ -144,9 +148,15 @@ def output_from_dict(payload: dict) -> ExperimentOutput:
 
 
 def save_output(output: ExperimentOutput, path: Union[str, Path]) -> None:
-    """Write an experiment output to ``path`` as indented JSON."""
-    path = Path(path)
-    path.write_text(json.dumps(output_to_dict(output), indent=2) + "\n")
+    """Write an experiment output to ``path`` as indented JSON.
+
+    The write is crash-safe (tmp + fsync + atomic rename via
+    :mod:`repro.atomicio`): a reader never observes a torn file, and a
+    crash mid-save leaves any previous version intact.
+    """
+    atomic_write_text(
+        Path(path), json.dumps(output_to_dict(output), indent=2) + "\n"
+    )
 
 
 def load_output(path: Union[str, Path]) -> ExperimentOutput:
@@ -222,6 +232,54 @@ def sweep_digest(
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
 
 
+#: Memoized :func:`code_fingerprint` value (stable for a process's lifetime).
+_CODE_FINGERPRINT: Optional[str] = None
+
+
+def code_fingerprint() -> str:
+    """Short hex digest of the *implementation contract* of this build.
+
+    Hashes the checked-in equation/algorithm registries and the lint
+    rule set (ids + titles + required-citation map) — the project's
+    machine-readable statement of which formulas the code implements and
+    which invariants it enforces.  When any of those change, previously
+    persisted per-seed metrics may no longer be reproducible, so cache
+    entries and journal checkpoints stamp this fingerprint and refuse to
+    serve results written under a different one.
+
+    The registries are imported lazily (the lint package is otherwise
+    never needed at sweep time) and the digest memoized: registries are
+    module-level constants, so the fingerprint cannot change within a
+    process.
+    """
+    global _CODE_FINGERPRINT
+    if _CODE_FINGERPRINT is None:
+        from repro.lint.equations import (
+            ALGORITHMS,
+            EQUATIONS,
+            REQUIRED_CITATIONS,
+        )
+        from repro.lint.registry import all_rules
+
+        payload = {
+            "equations": EQUATIONS,
+            "algorithms": ALGORITHMS,
+            "required_citations": {
+                module: {
+                    function: list(citations)
+                    for function, citations in sorted(functions.items())
+                }
+                for module, functions in sorted(REQUIRED_CITATIONS.items())
+            },
+            "rules": [[rule.rule_id, rule.title] for rule in all_rules()],
+        }
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        _CODE_FINGERPRINT = hashlib.sha256(
+            canonical.encode("utf-8")
+        ).hexdigest()[:16]
+    return _CODE_FINGERPRINT
+
+
 # --- Crash-safe sweep journal -----------------------------------------------
 
 
@@ -234,8 +292,12 @@ class SweepJournal:
     seeds in flight.  Opening with ``resume=True`` loads every intact
     record (a torn final line from a mid-write crash is skipped; any
     *intact* line that is not a valid record is rejected) and the runner
-    then re-runs only the missing cells.  Opening with ``resume=False``
-    truncates the file and starts fresh.
+    then re-runs only the missing cells.  Every line is stamped with the
+    writing build's :func:`code_fingerprint`; resuming over a journal
+    written under a different fingerprint is rejected with an error
+    pointing at ``--no-resume``, because metrics persisted by different
+    equations/rules cannot be trusted to reproduce.  Opening with
+    ``resume=False`` truncates the file and starts fresh.
 
     Satisfies the :class:`repro.sim.runner.SeedJournal` protocol, and
     exposes the digest-level :meth:`get` / :meth:`record` for drivers
@@ -272,6 +334,16 @@ class SweepJournal:
                     "(not valid JSON and not the final line)"
                 ) from None
             _check_version(payload, "sweep-journal")
+            code = payload.get("code")
+            if code != code_fingerprint():
+                raise ConfigurationError(
+                    f"{self.path}:{index + 1}: journal entry was written "
+                    f"under code fingerprint {code!r} but this build is "
+                    f"{code_fingerprint()!r} — the equation/rule registries "
+                    "changed since the checkpoint, so its metrics may not "
+                    "reproduce.  Re-run with --no-resume to discard the "
+                    "stale journal and recompute."
+                )
             try:
                 key = (
                     str(payload["digest"]),
@@ -299,6 +371,7 @@ class SweepJournal:
         line = json.dumps(
             {
                 "format_version": FORMAT_VERSION,
+                "code": code_fingerprint(),
                 "digest": digest,
                 "scheme": scheme,
                 "seed": seed,

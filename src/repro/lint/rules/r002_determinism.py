@@ -2,8 +2,12 @@
 
 ``repro/core`` and ``repro/net`` carry a bitwise-equality contract: the
 DeltaEvaluator must reproduce the ObjectiveEvaluator's trajectories
-bit-for-bit, and golden trajectories are pinned across machines.  Three
-constructs break that quietly:
+bit-for-bit, and golden trajectories are pinned across machines.  The
+sweep executors (``repro/sim/executors/``) and the result cache
+(``repro/experiments/cache.py``) carry the distributed half of the same
+contract — every backend and a warm cache must reproduce the serial run
+byte-for-byte — so they are held to the same rules.  Three constructs
+break that quietly:
 
 * iterating a ``set`` — Python sets hash-order their elements, and the
   order varies with insertion history and ``PYTHONHASHSEED``; any
@@ -72,16 +76,24 @@ def _scopes(tree: ast.Module) -> Iterator[ast.AST]:
 @register
 class DeterminismRule(Rule):
     rule_id = "R002"
-    title = "no determinism hazards in core/ and net/"
+    title = "no determinism hazards in core/, net/, executors and cache"
     rationale = (
         "Hash-ordered set iteration, wall-clock reads and environment "
         "lookups make trajectories machine-dependent, violating the "
-        "bitwise delta/objective equivalence contract; sort iterables "
-        "and thread explicit config instead."
+        "bitwise delta/objective equivalence contract (and the "
+        "backend/cache byte-identity contract); sort iterables and "
+        "thread explicit config instead."
     )
 
+    def _in_scope(self, ctx: FileContext) -> bool:
+        return (
+            ctx.in_subpackage("core", "net")
+            or ctx.module_rel.startswith("repro/sim/executors/")
+            or ctx.is_module("repro/experiments/cache.py")
+        )
+
     def check_file(self, ctx: FileContext) -> Iterator[Diagnostic]:
-        if not ctx.in_subpackage("core", "net"):
+        if not self._in_scope(ctx):
             return
         yield from self._check_set_iteration(ctx)
         yield from self._check_wall_clock(ctx)

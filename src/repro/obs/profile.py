@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, Iterator, List, Optional, Union
 
+from repro.atomicio import atomic_write_text
 from repro.errors import ConfigurationError
 
 
@@ -133,4 +134,4 @@ def maybe_profile(tag: str) -> Iterator[Optional[ProfileCapture]]:
             "top_n": capture.top_n,
             "hotspots": [h.as_dict() for h in capture.hotspots],
         }
-        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+        atomic_write_text(path, json.dumps(payload, indent=2) + "\n")

@@ -1,0 +1,189 @@
+"""Executor protocol and shared cell/wave types for the sweep runner.
+
+The multi-seed runner (:mod:`repro.sim.runner`) no longer hard-wires a
+process pool: it drives *waves* of pending cells through any object
+satisfying :class:`SweepExecutor`.  Three hardened backends ship with the
+library:
+
+* :class:`~repro.sim.executors.serial.SerialExecutor` — in-process, the
+  reference implementation and the graceful-degradation target;
+* :class:`~repro.sim.executors.pool.ProcessPoolSweepExecutor` — the
+  original ``ProcessPoolExecutor`` fan-out, rehomed behind the protocol;
+* :class:`~repro.sim.executors.queue.WorkQueueExecutor` — a file-based
+  work queue (directory of leased task files) that any number of
+  ``tsajs worker`` processes, on one or many machines, can drain.
+
+The unit of work is one *cell*: ``(position in the seed list, seed)``.
+Each cell is fully self-seeding (scenario streams 0-1, scheduler streams
+100+ all derive from the seed alone), so *where* it runs can never change
+*what* it computes — the runner's seed-ordered merge therefore produces
+byte-identical results on every backend, which the chaos tests in
+``tests/test_executors.py`` pin.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Protocol, Sequence, Tuple
+
+from repro.core.scheduler import Scheduler
+from repro.errors import ConfigurationError
+from repro.obs.profile import maybe_profile, profiling_enabled
+from repro.obs.recorder import get_recorder
+from repro.sim.config import SimulationConfig
+from repro.sim.metrics import SolutionMetrics, solution_metrics
+from repro.sim.rng import child_rng
+from repro.sim.scenario import Scenario
+
+#: One unit of pending work: ``(position in the seed list, seed)``.
+Cell = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """One completed cell: per-scheme metrics for one seed."""
+
+    position: int
+    seed: int
+    metrics: List[SolutionMetrics]
+
+
+@dataclass(frozen=True)
+class CellFailure:
+    """One failed cell attempt.
+
+    ``fatal`` marks failures that killed or lost the worker itself —
+    a dead process (``BrokenProcessPool``), a tripped seed timeout, or
+    an expired queue lease — as opposed to an ordinary exception raised
+    *by* the cell's work.  The runner counts fatal failures per cell to
+    quarantine poison cells that repeatedly take workers down.
+    """
+
+    position: int
+    seed: int
+    error: str
+    fatal: bool = False
+
+
+@dataclass
+class WaveOutcome:
+    """What one executor wave over a set of cells produced.
+
+    ``broken`` means the executor's machinery itself failed (worker
+    death, hung pool, unusable queue directory) — the caller should
+    degrade (e.g. to :class:`~repro.sim.executors.serial.SerialExecutor`)
+    or rebuild before the next wave.  Failed cells are still reported
+    individually so the retry loop can re-run exactly the missing work.
+    """
+
+    done: List[CellResult] = field(default_factory=list)
+    failed: List[CellFailure] = field(default_factory=list)
+    broken: bool = False
+
+
+class SweepExecutor(Protocol):
+    """Strategy object the runner hands each retry wave to.
+
+    Implementations must be safe to call repeatedly (one call per retry
+    wave) and must never raise on a *cell* failure — cell errors are data
+    (:class:`CellFailure`), not exceptions.  Raising is reserved for
+    invalid arguments.
+    """
+
+    #: Stable backend name (``"serial"`` / ``"pool"`` / ``"queue"``).
+    name: str
+
+    def run_wave(
+        self,
+        config: SimulationConfig,
+        schedulers: Sequence[Scheduler],
+        cells: Sequence[Cell],
+        timeout_s: Optional[float],
+    ) -> WaveOutcome:
+        """Attempt every cell once; report per-cell outcomes."""
+        ...  # pragma: no cover - protocol definition
+
+    def close(self) -> None:
+        """Release any held resources (idempotent)."""
+        ...  # pragma: no cover - protocol definition
+
+
+def seed_work(
+    config: SimulationConfig,
+    schedulers: Sequence[Scheduler],
+    seed: int,
+) -> List[SolutionMetrics]:
+    """All schedulers on one seed's instance (the distributable work unit)."""
+    scenario = Scenario.build(config, seed=seed)
+    metrics: List[SolutionMetrics] = []
+    for index, scheduler in enumerate(schedulers):
+        rng = child_rng(seed, 100 + index)
+        outcome = scheduler.schedule(scenario, rng)
+        metrics.append(solution_metrics(scenario, outcome))
+    return metrics
+
+
+def run_one_seed(
+    config: SimulationConfig,
+    schedulers: Sequence[Scheduler],
+    seed: int,
+) -> List[SolutionMetrics]:
+    """Dispatch one seed's work, instrumented when a recorder is enabled.
+
+    With the default :class:`~repro.obs.recorder.NullRecorder` and
+    profiling off, this is exactly :func:`seed_work` — no spans, no
+    metric touches, no profiler, so untraced runs stay on the legacy hot
+    path.  A forked pool or queue worker inherits the null recorder
+    (recorders are process-level state, never pickled with schedulers),
+    so distributed runs record seed telemetry only in the parent-side
+    merge.
+    """
+    rec = get_recorder()
+    if not rec.enabled and not profiling_enabled():
+        return seed_work(config, schedulers, seed)
+    with maybe_profile(f"seed_{seed}"):
+        with rec.span("runner.seed", seed=seed, n_schemes=len(schedulers)):
+            metrics = seed_work(config, schedulers, seed)
+    for scheduler, entry in zip(schedulers, metrics):
+        rec.count("runner.seeds_completed", scheme=scheduler.name)
+        rec.count(
+            "scheduler.evaluations", entry.evaluations, scheme=scheduler.name
+        )
+        rec.observe(
+            "scheduler.wall_time_s", entry.wall_time_s, scheme=scheduler.name
+        )
+        rec.gauge_set(
+            "scheduler.utility",
+            entry.system_utility,
+            scheme=scheduler.name,
+            seed=seed,
+        )
+    return metrics
+
+
+def metrics_to_payload(metrics: Sequence[SolutionMetrics]) -> List[Dict[str, Any]]:
+    """JSON-ready per-scheme metrics list (exact float round-trip)."""
+    return [dataclasses.asdict(entry) for entry in metrics]
+
+
+def metrics_from_payload(payload: Any) -> List[SolutionMetrics]:
+    """Inverse of :func:`metrics_to_payload`, validating field names."""
+    if not isinstance(payload, list):
+        raise ConfigurationError(
+            f"metrics payload must be a list, got {type(payload).__name__}"
+        )
+    known = {f.name for f in dataclasses.fields(SolutionMetrics)}
+    out: List[SolutionMetrics] = []
+    for entry in payload:
+        if not isinstance(entry, dict):
+            raise ConfigurationError(
+                f"metrics entry must be an object, got {type(entry).__name__}"
+            )
+        unknown = sorted(set(entry) - known)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown SolutionMetrics fields in payload: {', '.join(unknown)}"
+            )
+        out.append(SolutionMetrics(**entry))
+    return out

@@ -1,0 +1,119 @@
+"""Shared on-disk protocol for the work-queue executor and its workers.
+
+Both sides of the queue — the coordinator
+(:class:`~repro.sim.executors.queue.WorkQueueExecutor`) and the worker
+loop (:mod:`repro.sim.executors.worker`) — speak exactly the file
+formats defined here, so the protocol lives in one place and cannot
+drift.  All writes go through :mod:`repro.atomicio`; all result
+payloads carry an embedded checksum that readers verify before trusting
+a single number.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, List
+
+from repro.atomicio import payload_checksum
+from repro.errors import ConfigurationError
+from repro.sim.executors.base import metrics_from_payload
+from repro.sim.metrics import SolutionMetrics
+
+#: Version stamped into every task / result / error file.
+QUEUE_FORMAT_VERSION = 1
+
+#: Subdirectories making up a queue tree (creation order is irrelevant).
+QUEUE_DIRS = (
+    "spec",
+    "tasks",
+    "leases",
+    "results",
+    "errors",
+    "expired",
+    "corrupt",
+)
+
+
+def task_name(spec_name: str, seed: int) -> str:
+    """Stable task identity: one name per (sweep spec, seed) pair."""
+    return f"{spec_name}-s{seed}"
+
+
+def read_json(path: Path) -> Dict[str, Any]:
+    """Load a queue JSON file, normalising every decode failure.
+
+    A torn, truncated or non-object payload raises
+    :class:`~repro.errors.ConfigurationError` so callers have exactly one
+    exception type meaning "this file is not trustworthy".
+    """
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ConfigurationError(f"unreadable queue file {path.name}: {exc}")
+    if not isinstance(payload, dict):
+        raise ConfigurationError(
+            f"queue file {path.name} must hold a JSON object, "
+            f"got {type(payload).__name__}"
+        )
+    return payload
+
+
+def result_payload(name: str, metrics_payload: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """The checksummed result-file body for one completed task."""
+    return {
+        "format_version": QUEUE_FORMAT_VERSION,
+        "task": name,
+        "metrics": metrics_payload,
+        "checksum": payload_checksum(metrics_payload),
+    }
+
+
+def load_result_payload(path: Path, name: str) -> List[SolutionMetrics]:
+    """Decode + integrity-check one result file into metrics.
+
+    Raises :class:`~repro.errors.ConfigurationError` on any mismatch —
+    wrong version, wrong task name, missing fields, or a checksum that
+    does not cover the stored metrics (torn write / bit rot).
+    """
+    payload = read_json(path)
+    version = payload.get("format_version")
+    if version != QUEUE_FORMAT_VERSION:
+        raise ConfigurationError(
+            f"result {path.name} has format_version {version!r}, "
+            f"expected {QUEUE_FORMAT_VERSION}"
+        )
+    if payload.get("task") != name:
+        raise ConfigurationError(
+            f"result {path.name} claims task {payload.get('task')!r}, "
+            f"expected {name!r}"
+        )
+    metrics_field = payload.get("metrics")
+    stored = payload.get("checksum")
+    if stored != payload_checksum(metrics_field):
+        raise ConfigurationError(
+            f"result {path.name} failed its integrity check "
+            "(torn write or corrupted storage)"
+        )
+    return metrics_from_payload(metrics_field)
+
+
+def quarantine_file(path: Path, corrupt_dir: Path) -> None:
+    """Move a bad file aside (never delete evidence), tolerating races.
+
+    The destination name is suffixed until free so repeated quarantines
+    of the same task keep every specimen.
+    """
+    corrupt_dir.mkdir(parents=True, exist_ok=True)
+    destination = corrupt_dir / path.name
+    suffix = 0
+    while destination.exists():
+        suffix += 1
+        destination = corrupt_dir / f"{path.name}.{suffix}"
+    try:
+        os.replace(path, destination)
+    except OSError:
+        # Someone else already moved or removed it; the goal (path gone
+        # from the live tree) is met either way.
+        pass

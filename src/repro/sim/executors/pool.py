@@ -1,0 +1,107 @@
+"""Process-pool executor — the original parallel backend behind the protocol.
+
+One wave = one fresh ``ProcessPoolExecutor``.  A worker crash surfaces as
+``BrokenProcessPool`` on its future (and on every sibling still pending);
+a hung worker trips the per-seed timeout.  Either way the wave reports
+``broken=True``: a broken pool's workers cannot be recovered, so it is
+abandoned (``shutdown(wait=False)``) and the runner retries the failed
+cells in a fresh pool or serially.  Both failure shapes are ``fatal`` —
+they killed or lost the worker rather than raising from the cell's own
+work — so the runner's poison-cell quarantine counts them.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.scheduler import Scheduler
+from repro.errors import ConfigurationError
+from repro.sim.config import SimulationConfig
+from repro.sim.executors.base import (
+    Cell,
+    CellFailure,
+    CellResult,
+    WaveOutcome,
+    run_one_seed,
+)
+
+
+class ProcessPoolSweepExecutor:
+    """Fans cells out over ``n_jobs`` worker processes per wave."""
+
+    name = "pool"
+
+    def __init__(self, n_jobs: int) -> None:
+        if n_jobs < 1:
+            raise ConfigurationError(f"n_jobs must be >= 1, got {n_jobs}")
+        self.n_jobs = n_jobs
+
+    def run_wave(
+        self,
+        config: SimulationConfig,
+        schedulers: Sequence[Scheduler],
+        cells: Sequence[Cell],
+        timeout_s: Optional[float],
+    ) -> WaveOutcome:
+        from concurrent.futures import ProcessPoolExecutor
+        from concurrent.futures import TimeoutError as FuturesTimeoutError
+        from concurrent.futures.process import BrokenProcessPool
+
+        outcome = WaveOutcome()
+        pool = ProcessPoolExecutor(max_workers=min(self.n_jobs, len(cells)))
+        try:
+            futures = [
+                (
+                    position,
+                    seed,
+                    pool.submit(run_one_seed, config, schedulers, seed),
+                )
+                for position, seed in cells
+            ]
+            for position, seed, future in futures:
+                try:
+                    metrics = future.result(timeout=timeout_s)
+                except FuturesTimeoutError:
+                    outcome.broken = True
+                    outcome.failed.append(
+                        CellFailure(
+                            position=position,
+                            seed=seed,
+                            error=(
+                                f"seed {seed} exceeded the {timeout_s}s budget"
+                            ),
+                            fatal=True,
+                        )
+                    )
+                except BrokenProcessPool:
+                    outcome.broken = True
+                    outcome.failed.append(
+                        CellFailure(
+                            position=position,
+                            seed=seed,
+                            error=(
+                                f"worker process died while running seed {seed}"
+                            ),
+                            fatal=True,
+                        )
+                    )
+                except Exception as exc:
+                    outcome.failed.append(
+                        CellFailure(
+                            position=position,
+                            seed=seed,
+                            error=f"{type(exc).__name__}: {exc}",
+                        )
+                    )
+                else:
+                    outcome.done.append(
+                        CellResult(position=position, seed=seed, metrics=metrics)
+                    )
+        finally:
+            # A broken pool (dead or hung worker) cannot be drained;
+            # waiting on shutdown would block forever on the hung worker.
+            pool.shutdown(wait=not outcome.broken, cancel_futures=True)
+        return outcome
+
+    def close(self) -> None:
+        """Pools are per-wave; nothing outlives :meth:`run_wave`."""

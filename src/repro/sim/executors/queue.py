@@ -1,0 +1,447 @@
+"""File-based work-queue executor: leased task files drained by workers.
+
+The queue is a plain directory — the only coordination primitive is the
+atomicity of ``os.rename`` within one filesystem — so any number of
+independent ``tsajs worker`` processes, on one or many machines sharing
+the directory, can drain a sweep:
+
+``spec/``
+    Pickled ``(config, schedulers)`` payloads, content-named; task files
+    reference the spec they belong to so one queue can serve many sweeps.
+``tasks/``
+    Pending task files (one JSON file per cell).  A worker *claims* a
+    task by renaming it into ``leases/`` — an atomic operation exactly
+    one contender can win.
+``leases/``
+    Claimed task files plus a heartbeat sidecar (``<task>.hb``) the
+    worker refreshes while computing.  A lease whose heartbeat goes
+    silent past the timeout (or whose locally-spawned worker is known
+    dead) is *expired*: moved to ``expired/`` and reported as a fatal
+    cell failure for the runner's retry/quarantine logic.
+``results/`` / ``errors/``
+    Completed cells (checksummed, written atomically) and per-cell
+    error records.  A corrupt result entry is quarantined to
+    ``corrupt/`` and the cell recomputed on the next wave.
+
+The coordinator never trusts clocks across machines: lease staleness is
+judged purely by *observed heartbeat progress* on the coordinator's own
+monotonic clock, so skewed wall clocks cannot expire a healthy lease.
+Every cell is fully self-seeding, so which worker computes it never
+changes the result — re-running a wave, double-claiming after an expiry
+race, or mixing machines all converge to byte-identical sweeps.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import subprocess
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.atomicio import atomic_write_bytes, atomic_write_json, sha256_hex
+from repro.core.scheduler import Scheduler
+from repro.errors import ConfigurationError
+from repro.obs.clock import monotonic, sleep
+from repro.obs.recorder import get_recorder
+from repro.sim.config import SimulationConfig
+from repro.sim.executors.base import (
+    Cell,
+    CellFailure,
+    CellResult,
+    WaveOutcome,
+)
+from repro.sim.executors.files import (
+    QUEUE_DIRS,
+    QUEUE_FORMAT_VERSION,
+    load_result_payload,
+    quarantine_file,
+    read_json,
+    task_name,
+)
+
+#: Default seconds of heartbeat silence after which a lease is expired.
+DEFAULT_LEASE_TIMEOUT_S = 30.0
+
+
+@dataclass
+class _LeaseWatch:
+    """Coordinator-side staleness tracking for one observed lease."""
+
+    beat: int
+    seen_at: float
+    worker: str
+    first_seen: float
+
+
+class WorkQueueExecutor:
+    """Drives one wave of cells through a shared task-file queue.
+
+    Parameters
+    ----------
+    queue_dir:
+        Root of the queue directory tree (created on demand).  Workers
+        on other machines drain the same tree via ``tsajs worker DIR``.
+    n_local_workers:
+        Worker subprocesses the coordinator spawns (and respawns on
+        death) per wave to drain its own queue.  ``0`` relies entirely
+        on external workers.
+    lease_timeout_s:
+        Heartbeat-silence budget before a lease is expired.  Distinct
+        from the runner's per-seed timeout (``RetryPolicy.seed_timeout_s``,
+        passed into :meth:`run_wave`), which bounds *total* cell wall
+        time even while heartbeats keep arriving.
+    heartbeat_s / poll_s:
+        Worker heartbeat period and coordinator poll period.
+    idle_timeout_s:
+        With no local workers, how long the coordinator waits without
+        observing *any* progress before declaring unclaimed cells failed
+        (guards against waiting forever on a queue nobody is draining).
+    """
+
+    name = "queue"
+
+    def __init__(
+        self,
+        queue_dir: Union[str, Path],
+        n_local_workers: int = 1,
+        lease_timeout_s: float = DEFAULT_LEASE_TIMEOUT_S,
+        heartbeat_s: float = 1.0,
+        poll_s: float = 0.05,
+        idle_timeout_s: float = 60.0,
+    ) -> None:
+        if n_local_workers < 0:
+            raise ConfigurationError(
+                f"n_local_workers must be >= 0, got {n_local_workers}"
+            )
+        if lease_timeout_s <= 0:
+            raise ConfigurationError(
+                f"lease_timeout_s must be positive, got {lease_timeout_s}"
+            )
+        if heartbeat_s <= 0:
+            raise ConfigurationError(
+                f"heartbeat_s must be positive, got {heartbeat_s}"
+            )
+        if poll_s <= 0:
+            raise ConfigurationError(f"poll_s must be positive, got {poll_s}")
+        if idle_timeout_s <= 0:
+            raise ConfigurationError(
+                f"idle_timeout_s must be positive, got {idle_timeout_s}"
+            )
+        self.queue_dir = Path(queue_dir)
+        self.n_local_workers = n_local_workers
+        self.lease_timeout_s = lease_timeout_s
+        self.heartbeat_s = heartbeat_s
+        self.poll_s = poll_s
+        self.idle_timeout_s = idle_timeout_s
+        self._procs: List["subprocess.Popen[bytes]"] = []
+
+    # --- layout helpers -----------------------------------------------------
+
+    def _dir(self, kind: str) -> Path:
+        return self.queue_dir / kind
+
+    def _ensure_layout(self) -> None:
+        for kind in QUEUE_DIRS:
+            self._dir(kind).mkdir(parents=True, exist_ok=True)
+
+    # --- worker management --------------------------------------------------
+
+    def _spawn_worker(self) -> "subprocess.Popen[bytes]":
+        proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.sim.executors.worker",
+                str(self.queue_dir),
+                "--drain",
+                "--poll",
+                str(self.poll_s),
+                "--heartbeat",
+                str(self.heartbeat_s),
+            ],
+        )
+        self._procs.append(proc)
+        return proc
+
+    def _live_local_pids(self) -> Dict[int, "subprocess.Popen[bytes]"]:
+        return {p.pid: p for p in self._procs if p.poll() is None}
+
+    def _dead_local_pids(self) -> List[int]:
+        return sorted(p.pid for p in self._procs if p.poll() is not None)
+
+    def _stop_workers(self) -> None:
+        for proc in self._procs:
+            if proc.poll() is None:
+                proc.terminate()
+        for proc in self._procs:
+            try:
+                proc.wait(timeout=5.0)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait()
+        self._procs = []
+
+    # --- wave ---------------------------------------------------------------
+
+    def run_wave(
+        self,
+        config: SimulationConfig,
+        schedulers: Sequence[Scheduler],
+        cells: Sequence[Cell],
+        timeout_s: Optional[float],
+    ) -> WaveOutcome:
+        try:
+            return self._run_wave(config, schedulers, cells, timeout_s)
+        except OSError as exc:
+            # The queue directory itself failed (unmounted share, ENOSPC,
+            # permissions): report the machinery broken so the runner can
+            # degrade to the serial backend instead of crashing the sweep.
+            outcome = WaveOutcome(broken=True)
+            for position, seed in cells:
+                outcome.failed.append(
+                    CellFailure(
+                        position=position,
+                        seed=seed,
+                        error=f"queue directory error: {exc}",
+                    )
+                )
+            return outcome
+        finally:
+            self._stop_workers()
+
+    def _run_wave(
+        self,
+        config: SimulationConfig,
+        schedulers: Sequence[Scheduler],
+        cells: Sequence[Cell],
+        timeout_s: Optional[float],
+    ) -> WaveOutcome:
+        rec = get_recorder()
+        self._ensure_layout()
+        spec_name = self._write_spec(config, schedulers)
+        outcome = WaveOutcome()
+
+        pending: Dict[str, Cell] = {}
+        for position, seed in cells:
+            name = task_name(spec_name, seed)
+            resolved = self._try_resolve_result(name, position, seed, outcome)
+            if resolved:
+                continue
+            atomic_write_json(
+                self._dir("tasks") / f"{name}.json",
+                {
+                    "format_version": QUEUE_FORMAT_VERSION,
+                    "spec": spec_name,
+                    "seed": seed,
+                },
+            )
+            pending[name] = (position, seed)
+
+        for _ in range(min(self.n_local_workers, max(len(pending), 0))):
+            self._spawn_worker()
+
+        watches: Dict[str, _LeaseWatch] = {}
+        claim_deadline = monotonic() + self.idle_timeout_s
+        respawns_left = len(pending)
+        while pending:
+            progressed = False
+            for name in sorted(pending):
+                position, seed = pending[name]
+                if self._try_resolve_result(name, position, seed, outcome):
+                    del pending[name]
+                    progressed = True
+                    continue
+                error = self._take_error(name)
+                if error is not None:
+                    outcome.failed.append(
+                        CellFailure(position=position, seed=seed, error=error)
+                    )
+                    del pending[name]
+                    progressed = True
+                    continue
+                state = self._check_lease(name, timeout_s, watches)
+                if state == "expired":
+                    if rec.enabled:
+                        rec.event("queue.lease_expired", task=name, seed=seed)
+                        rec.count("queue.leases_expired")
+                    outcome.failed.append(
+                        CellFailure(
+                            position=position,
+                            seed=seed,
+                            error=(
+                                f"lease on task {name} expired (worker died "
+                                "or heartbeat silent past "
+                                f"{self.lease_timeout_s}s)"
+                            ),
+                            fatal=True,
+                        )
+                    )
+                    del pending[name]
+                    progressed = True
+                elif state == "leased":
+                    progressed = True
+
+            if progressed:
+                claim_deadline = monotonic() + self.idle_timeout_s
+            if pending and self._maybe_respawn(respawns_left):
+                respawns_left -= 1
+            if pending and not progressed and monotonic() > claim_deadline:
+                for name in sorted(pending):
+                    position, seed = pending.pop(name)
+                    self._remove_task(name)
+                    outcome.failed.append(
+                        CellFailure(
+                            position=position,
+                            seed=seed,
+                            error=(
+                                f"no worker claimed task {name} within "
+                                f"{self.idle_timeout_s}s (is a worker "
+                                "draining this queue?)"
+                            ),
+                        )
+                    )
+                break
+            if pending:
+                sleep(self.poll_s)
+        return outcome
+
+    def _maybe_respawn(self, respawns_left: int) -> bool:
+        """Replace one dead local worker while work remains (bounded)."""
+        if self.n_local_workers == 0 or respawns_left <= 0:
+            return False
+        live = len(self._live_local_pids())
+        if live >= self.n_local_workers or not self._dead_local_pids():
+            return False
+        self._spawn_worker()
+        rec = get_recorder()
+        if rec.enabled:
+            rec.event("queue.worker_respawned", live_workers=live + 1)
+            rec.count("queue.worker_respawns")
+        return True
+
+    # --- per-cell state probes ----------------------------------------------
+
+    def _write_spec(
+        self, config: SimulationConfig, schedulers: Sequence[Scheduler]
+    ) -> str:
+        blob = pickle.dumps((config, list(schedulers)))
+        name = f"spec-{sha256_hex(blob)[:12]}"
+        path = self._dir("spec") / f"{name}.pkl"
+        if not path.exists():
+            atomic_write_bytes(path, blob)
+        return name
+
+    def _try_resolve_result(
+        self, name: str, position: int, seed: int, outcome: WaveOutcome
+    ) -> bool:
+        """Consume a valid result entry for ``name`` if one exists."""
+        path = self._dir("results") / f"{name}.json"
+        if not path.exists():
+            return False
+        rec = get_recorder()
+        try:
+            metrics = load_result_payload(path, name)
+        except ConfigurationError as exc:
+            quarantine_file(path, self._dir("corrupt"))
+            if rec.enabled:
+                rec.event("queue.result_quarantined", task=name, error=str(exc))
+                rec.count("queue.results_quarantined")
+            return False
+        outcome.done.append(
+            CellResult(position=position, seed=seed, metrics=metrics)
+        )
+        return True
+
+    def _take_error(self, name: str) -> Optional[str]:
+        path = self._dir("errors") / f"{name}.json"
+        if not path.exists():
+            return None
+        try:
+            payload = read_json(path)
+            error = str(payload["error"])
+        except (ConfigurationError, KeyError):
+            error = f"worker error record for task {name} was unreadable"
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+        return error
+
+    def _check_lease(
+        self,
+        name: str,
+        timeout_s: Optional[float],
+        watches: Dict[str, _LeaseWatch],
+    ) -> str:
+        """``"unclaimed"``, ``"leased"`` or ``"expired"`` for one task."""
+        lease = self._dir("leases") / f"{name}.json"
+        heartbeat = self._dir("leases") / f"{name}.hb"
+        if not lease.exists():
+            if (self._dir("tasks") / f"{name}.json").exists():
+                return "unclaimed"
+            # Mid-claim rename or mid-completion cleanup: treat as leased
+            # and let the next poll observe the settled state.
+            return "leased"
+        beat, worker = self._read_heartbeat(heartbeat)
+        now = monotonic()
+        watch = watches.get(name)
+        if watch is None:
+            watch = _LeaseWatch(
+                beat=beat, seen_at=now, worker=worker, first_seen=now
+            )
+            watches[name] = watch
+        elif beat != watch.beat or worker != watch.worker:
+            watch.beat = beat
+            watch.worker = worker
+            watch.seen_at = now
+        silent_for = now - watch.seen_at
+        expired = silent_for > self.lease_timeout_s
+        if not expired and self._worker_is_dead_local(watch.worker):
+            expired = True
+        if not expired and timeout_s is not None:
+            # The runner's per-seed budget also applies on this backend:
+            # a lease that keeps heartbeating but never finishes is a
+            # hung cell, not a healthy one.
+            expired = (now - watch.first_seen) > timeout_s
+        if not expired:
+            return "leased"
+        self._expire_lease(lease, heartbeat)
+        watches.pop(name, None)
+        return "expired"
+
+    def _read_heartbeat(self, path: Path) -> Tuple[int, str]:
+        try:
+            payload = read_json(path)
+            return int(payload["beat"]), str(payload["worker"])
+        except (ConfigurationError, KeyError, TypeError, ValueError):
+            return -1, ""
+
+    def _worker_is_dead_local(self, worker: str) -> bool:
+        """A lease held by one of *our* workers that already exited is
+        stale immediately — no need to wait out the heartbeat budget."""
+        if not worker.startswith("pid:"):
+            return False
+        try:
+            pid = int(worker.split(":", 1)[1])
+        except ValueError:
+            return False
+        return pid in set(self._dead_local_pids())
+
+    def _expire_lease(self, lease: Path, heartbeat: Path) -> None:
+        quarantine_file(lease, self._dir("expired"))
+        try:
+            os.unlink(heartbeat)
+        except OSError:
+            pass
+
+    def _remove_task(self, name: str) -> None:
+        try:
+            os.unlink(self._dir("tasks") / f"{name}.json")
+        except OSError:
+            pass
+
+    def close(self) -> None:
+        self._stop_workers()

@@ -1,0 +1,268 @@
+"""Work-queue worker: claim leased task files, compute, write results.
+
+Run as ``tsajs worker QUEUE_DIR`` (or ``python -m
+repro.sim.executors.worker QUEUE_DIR``) on any machine that can see the
+queue directory.  The loop is deliberately boring:
+
+1. list ``tasks/`` (sorted, for determinism of claim *order* — results
+   are position-merged by the coordinator so claim order never affects
+   output bytes);
+2. claim one task by atomically renaming it into ``leases/`` — losing
+   the rename race to another worker is normal, not an error;
+3. start a heartbeat thread that rewrites the lease's ``.hb`` sidecar
+   every ``heartbeat_s`` with a strictly increasing beat counter;
+4. unpickle the referenced sweep spec (cached per spec name), run the
+   cell via the same :func:`~repro.sim.executors.base.run_one_seed`
+   every other backend uses, and atomically write a checksummed result
+   (or an error record if the cell's work raised);
+5. release the lease and heartbeat files.
+
+If the worker dies at *any* point, the lease simply stops heartbeating
+and the coordinator expires it — no cleanup protocol is required, which
+is the whole point of the lease design.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import pickle
+import threading
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.atomicio import atomic_write_json
+from repro.core.scheduler import Scheduler
+from repro.errors import ConfigurationError
+from repro.obs.clock import sleep
+from repro.sim.config import SimulationConfig
+from repro.sim.executors.base import metrics_to_payload, run_one_seed
+from repro.sim.executors.files import (
+    QUEUE_FORMAT_VERSION,
+    quarantine_file,
+    read_json,
+    result_payload,
+)
+
+_Spec = Tuple[SimulationConfig, List[Scheduler]]
+
+
+def _worker_id() -> str:
+    """Identity written into heartbeats.
+
+    The ``pid:`` prefix lets a coordinator that *spawned* this worker
+    recognise its leases and expire them the moment the process is
+    reaped, without waiting out the heartbeat budget.
+    """
+    return f"pid:{os.getpid()}"
+
+
+class _Heartbeat:
+    """Background thread refreshing one lease's heartbeat sidecar."""
+
+    def __init__(self, path: Path, period_s: float) -> None:
+        self._path = path
+        self._period_s = period_s
+        self._stop = threading.Event()
+        self._beat = 0
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _write(self) -> None:
+        atomic_write_json(
+            self._path, {"beat": self._beat, "worker": _worker_id()}
+        )
+
+    def _run(self) -> None:
+        while not self._stop.wait(self._period_s):
+            self._beat += 1
+            try:
+                self._write()
+            except OSError:
+                # A vanished lease directory means the coordinator gave
+                # up on us; the compute thread will discover that when it
+                # tries to publish, so just stop advertising liveness.
+                return
+
+    def __enter__(self) -> "_Heartbeat":
+        self._write()
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+        try:
+            os.unlink(self._path)
+        except OSError:
+            pass
+
+
+class QueueWorker:
+    """Drains tasks from one queue directory until told (or drained) to stop."""
+
+    def __init__(
+        self,
+        queue_dir: Path,
+        poll_s: float = 0.05,
+        heartbeat_s: float = 1.0,
+        crash_hook: Optional[Any] = None,
+    ) -> None:
+        if poll_s <= 0:
+            raise ConfigurationError(f"poll_s must be positive, got {poll_s}")
+        if heartbeat_s <= 0:
+            raise ConfigurationError(
+                f"heartbeat_s must be positive, got {heartbeat_s}"
+            )
+        self.queue_dir = Path(queue_dir)
+        self.poll_s = poll_s
+        self.heartbeat_s = heartbeat_s
+        #: Test seam: called with the claimed task name before computing,
+        #: so chaos tests can kill the worker mid-lease deterministically.
+        self.crash_hook = crash_hook
+        self._specs: Dict[str, _Spec] = {}
+
+    def _dir(self, kind: str) -> Path:
+        return self.queue_dir / kind
+
+    def _load_spec(self, spec_name: str) -> _Spec:
+        if spec_name not in self._specs:
+            path = self._dir("spec") / f"{spec_name}.pkl"
+            with open(path, "rb") as handle:
+                config, schedulers = pickle.load(handle)
+            self._specs[spec_name] = (config, list(schedulers))
+        return self._specs[spec_name]
+
+    def _claim_one(self) -> Optional[str]:
+        """Atomically move one pending task into ``leases/``; None if empty."""
+        tasks_dir = self._dir("tasks")
+        try:
+            names = sorted(p.name for p in tasks_dir.iterdir())
+        except OSError:
+            return None
+        for filename in names:
+            if not filename.endswith(".json"):
+                continue
+            try:
+                os.rename(tasks_dir / filename, self._dir("leases") / filename)
+            except OSError:
+                continue  # lost the claim race — somebody else has it
+            return filename[: -len(".json")]
+        return None
+
+    def _process(self, name: str) -> None:
+        lease = self._dir("leases") / f"{name}.json"
+        heartbeat = self._dir("leases") / f"{name}.hb"
+        with _Heartbeat(heartbeat, self.heartbeat_s):
+            try:
+                task = read_json(lease)
+                version = task.get("format_version")
+                if version != QUEUE_FORMAT_VERSION:
+                    raise ConfigurationError(
+                        f"task {name} has format_version {version!r}, "
+                        f"expected {QUEUE_FORMAT_VERSION}"
+                    )
+                config, schedulers = self._load_spec(str(task["spec"]))
+                seed = int(task["seed"])
+                if self.crash_hook is not None:
+                    self.crash_hook(name)
+                metrics = run_one_seed(config, schedulers, seed)
+            except ConfigurationError as exc:
+                # The task file itself is bad — quarantine it so the
+                # queue does not loop on it, and record why.
+                quarantine_file(lease, self._dir("corrupt"))
+                atomic_write_json(
+                    self._dir("errors") / f"{name}.json",
+                    {
+                        "format_version": QUEUE_FORMAT_VERSION,
+                        "task": name,
+                        "error": f"{type(exc).__name__}: {exc}",
+                    },
+                )
+                return
+            except Exception as exc:
+                atomic_write_json(
+                    self._dir("errors") / f"{name}.json",
+                    {
+                        "format_version": QUEUE_FORMAT_VERSION,
+                        "task": name,
+                        "error": f"{type(exc).__name__}: {exc}",
+                    },
+                )
+            else:
+                atomic_write_json(
+                    self._dir("results") / f"{name}.json",
+                    result_payload(name, metrics_to_payload(metrics)),
+                )
+            finally:
+                try:
+                    os.unlink(lease)
+                except OSError:
+                    pass
+
+    def drain(self, max_tasks: Optional[int] = None) -> int:
+        """Process tasks until ``tasks/`` is empty; return the count done."""
+        processed = 0
+        while max_tasks is None or processed < max_tasks:
+            name = self._claim_one()
+            if name is None:
+                return processed
+            self._process(name)
+            processed += 1
+        return processed
+
+    def run_forever(self, max_tasks: Optional[int] = None) -> int:
+        """Drain, then keep polling for new tasks until interrupted."""
+        processed = 0
+        while max_tasks is None or processed < max_tasks:
+            name = self._claim_one()
+            if name is None:
+                sleep(self.poll_s)
+                continue
+            self._process(name)
+            processed += 1
+        return processed
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.sim.executors.worker",
+        description="Drain task files from a tsajs work-queue directory.",
+    )
+    parser.add_argument("queue_dir", help="queue directory to drain")
+    parser.add_argument(
+        "--drain",
+        action="store_true",
+        help="exit once the task directory is empty instead of polling",
+    )
+    parser.add_argument(
+        "--poll", type=float, default=0.05, help="idle poll period (seconds)"
+    )
+    parser.add_argument(
+        "--heartbeat",
+        type=float,
+        default=1.0,
+        help="lease heartbeat period (seconds)",
+    )
+    parser.add_argument(
+        "--max-tasks",
+        type=int,
+        default=None,
+        help="stop after processing this many tasks",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    worker = QueueWorker(
+        Path(args.queue_dir), poll_s=args.poll, heartbeat_s=args.heartbeat
+    )
+    if args.drain:
+        worker.drain(max_tasks=args.max_tasks)
+    else:
+        worker.run_forever(max_tasks=args.max_tasks)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - subprocess entry point
+    raise SystemExit(main())

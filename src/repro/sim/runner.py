@@ -7,18 +7,30 @@ but seed-derived* RNG (so stochastic schedulers are reproducible yet
 decorrelated from the instance draw), and collects
 :class:`~repro.sim.metrics.SolutionMetrics` per (scheme, seed).
 
-Two resilience layers harden long sweeps (see ``docs/robustness.md``):
+Execution is delegated to a pluggable
+:class:`~repro.sim.executors.base.SweepExecutor` backend — in-process
+serial, process pool, or a file-based work queue drained by external
+``tsajs worker`` processes.  Every backend computes the same fully
+self-seeding work unit and the runner merges results in seed order, so
+*which* backend ran a sweep never changes its bytes.
+
+Three resilience layers harden long sweeps (see ``docs/robustness.md``):
 
 * a :class:`RetryPolicy` adds per-seed timeouts, bounded retry with
-  exponential backoff, graceful degradation from the process pool to
-  serial execution when the pool breaks, and structured
-  :class:`SeedFailure` records instead of a crash on the first bad seed;
-* a **journal** (any object satisfying :class:`SeedJournal`, in practice
-  :class:`repro.experiments.persistence.SweepJournal`) checkpoints every
-  completed seed to disk so an interrupted sweep resumes by re-running
-  only the missing (scheme, seed) cells.
+  exponential backoff, graceful degradation to serial execution when a
+  backend breaks, poison-cell quarantine after repeated worker-killing
+  failures, and structured :class:`SeedFailure` records instead of a
+  crash on the first bad seed;
+* a **journal** (any object satisfying :class:`SeedJournal` — in
+  practice :class:`repro.experiments.persistence.SweepJournal` or the
+  content-addressed :class:`repro.experiments.cache.ResultCache`)
+  checkpoints every completed seed to disk so an interrupted sweep
+  resumes by re-running only the missing (scheme, seed) cells;
+* the executors themselves detect torn or corrupt artifacts, quarantine
+  them and recompute (queue backend), or report themselves broken so the
+  runner can degrade.
 
-With neither supplied (and no module-level defaults installed) the
+With none of these supplied (and no module-level defaults installed) the
 runner follows the exact legacy code path — bitwise-identical results
 and fail-fast error propagation.
 """
@@ -26,18 +38,39 @@ and fail-fast error propagation.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Protocol, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Protocol, Sequence
 
 from repro.core.scheduler import Scheduler
 from repro.errors import ConfigurationError, SolverError
 from repro.obs.clock import sleep
-from repro.obs.profile import maybe_profile, profiling_enabled
 from repro.obs.recorder import get_recorder
 from repro.sim.config import SimulationConfig
-from repro.sim.metrics import SolutionMetrics, solution_metrics
-from repro.sim.rng import child_rng
-from repro.sim.scenario import Scenario
+from repro.sim.executors.base import Cell, SweepExecutor
+from repro.sim.executors.base import run_one_seed as _run_one_seed
+from repro.sim.executors.base import seed_work as _seed_work
+from repro.sim.executors.pool import ProcessPoolSweepExecutor
+from repro.sim.executors.serial import SerialExecutor
+from repro.sim.metrics import SolutionMetrics
 from repro.sim.stats import SummaryStats, summarize
+
+__all__ = [
+    "SeedFailure",
+    "RetryPolicy",
+    "SeedJournal",
+    "ExperimentResult",
+    "ExperimentRunner",
+    "run_schemes",
+    "set_default_n_workers",
+    "set_default_retry",
+    "set_default_journal",
+    "get_default_journal",
+    "set_default_executor",
+    "get_default_executor",
+]
+
+#: Backwards-compatible alias (cells were a private tuple type here
+#: before the executors package existed).
+_Cell = Cell
 
 
 @dataclass(frozen=True)
@@ -59,19 +92,25 @@ class RetryPolicy:
         Waves a failing seed is attempted before it is recorded as a
         :class:`SeedFailure` (>= 1).
     seed_timeout_s:
-        Wall-clock budget for one seed's work unit in the process pool;
-        a seed exceeding it is treated as hung, the pool is abandoned
-        (its workers cannot be interrupted) and the seed retried in the
-        next wave.  ``None`` disables the timeout.  Serial execution
-        cannot be timed out and ignores this knob.
+        Wall-clock budget for one seed's work unit on a preemptible
+        backend (pool, queue); a seed exceeding it is treated as hung
+        and retried in the next wave.  ``None`` disables the timeout.
+        Serial execution cannot be timed out and ignores this knob.
     backoff_s / backoff_factor:
         Sleep between retry waves: ``backoff_s * backoff_factor**k``
         after wave ``k`` (exponential backoff; gives a transiently
         sick machine room to recover).
     serial_fallback:
-        Once the pool broke (worker crash or hang), run later waves
-        serially in-process instead of spawning a fresh pool — slower
-        but immune to pool-level failures.
+        Once the backend broke (worker crash or hang), run later waves
+        serially in-process instead of rebuilding it — slower but
+        immune to executor-level failures.
+    quarantine_after:
+        A cell whose failures are *fatal* — they killed or lost the
+        worker (dead process, tripped timeout, expired queue lease) —
+        this many times is quarantined: recorded as a
+        :class:`SeedFailure` immediately and never scheduled again, so
+        one poison cell cannot keep taking workers down for the rest of
+        the retry budget (>= 1).
     """
 
     max_attempts: int = 3
@@ -79,6 +118,7 @@ class RetryPolicy:
     backoff_s: float = 0.5
     backoff_factor: float = 2.0
     serial_fallback: bool = True
+    quarantine_after: int = 2
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
@@ -97,14 +137,18 @@ class RetryPolicy:
             raise ConfigurationError(
                 f"backoff_factor must be >= 1, got {self.backoff_factor}"
             )
+        if self.quarantine_after < 1:
+            raise ConfigurationError(
+                f"quarantine_after must be >= 1, got {self.quarantine_after}"
+            )
 
 
 class SeedJournal(Protocol):
     """Checkpoint store the runner consults before and after each seed.
 
-    Implemented by :class:`repro.experiments.persistence.SweepJournal`;
-    kept as a protocol here so ``repro.sim`` never imports the
-    experiments layer at runtime.
+    Implemented by :class:`repro.experiments.persistence.SweepJournal`
+    and :class:`repro.experiments.cache.ResultCache`; kept as a protocol
+    here so ``repro.sim`` never imports the experiments layer at runtime.
     """
 
     def lookup_seed(
@@ -184,67 +228,17 @@ class ExperimentResult:
         return [seed for seed in self.seeds if seed not in failed]
 
 
-def _seed_work(
-    config: SimulationConfig,
-    schedulers: Sequence[Scheduler],
-    seed: int,
-) -> List[SolutionMetrics]:
-    """All schedulers on one seed's instance (the parallel work unit)."""
-    scenario = Scenario.build(config, seed=seed)
-    metrics: List[SolutionMetrics] = []
-    for index, scheduler in enumerate(schedulers):
-        rng = child_rng(seed, 100 + index)
-        outcome = scheduler.schedule(scenario, rng)
-        metrics.append(solution_metrics(scenario, outcome))
-    return metrics
-
-
-def _run_one_seed(
-    config: SimulationConfig,
-    schedulers: Sequence[Scheduler],
-    seed: int,
-) -> List[SolutionMetrics]:
-    """Dispatch one seed's work, instrumented when a recorder is enabled.
-
-    With the default :class:`~repro.obs.recorder.NullRecorder` and
-    profiling off, this is exactly :func:`_seed_work` — no spans, no
-    metric touches, no profiler, so untraced runs stay on the legacy hot
-    path.  A forked pool worker inherits the null recorder (recorders
-    are process-level state, never pickled with schedulers), so pool
-    runs record seed telemetry only in the parent-side merge.
-    """
-    rec = get_recorder()
-    if not rec.enabled and not profiling_enabled():
-        return _seed_work(config, schedulers, seed)
-    with maybe_profile(f"seed_{seed}"):
-        with rec.span("runner.seed", seed=seed, n_schemes=len(schedulers)):
-            metrics = _seed_work(config, schedulers, seed)
-    for scheduler, entry in zip(schedulers, metrics):
-        rec.count("runner.seeds_completed", scheme=scheduler.name)
-        rec.count(
-            "scheduler.evaluations", entry.evaluations, scheme=scheduler.name
-        )
-        rec.observe(
-            "scheduler.wall_time_s", entry.wall_time_s, scheme=scheduler.name
-        )
-        rec.gauge_set(
-            "scheduler.utility",
-            entry.system_utility,
-            scheme=scheduler.name,
-            seed=seed,
-        )
-    return metrics
-
-
 #: Fallback worker count used when neither ``run_schemes(n_jobs=...)`` nor
 #: ``config.n_workers`` asks for parallelism (set by ``tsajs run --workers``).
 _DEFAULT_N_JOBS = 1
 
 #: Process-level defaults installed by the CLI (``tsajs run --retries /
-#: --seed-timeout / --journal``); experiment drivers build their own
-#: configs internally, so explicit arguments cannot reach them.
+#: --seed-timeout / --journal / --cache / --backend``); experiment
+#: drivers build their own configs internally, so explicit arguments
+#: cannot reach them.
 _DEFAULT_RETRY: Optional[RetryPolicy] = None
 _DEFAULT_JOURNAL: Optional[SeedJournal] = None
+_DEFAULT_EXECUTOR: Optional[SweepExecutor] = None
 
 
 def set_default_n_workers(n_workers: int) -> None:
@@ -278,158 +272,141 @@ def get_default_journal() -> Optional[SeedJournal]:
     return _DEFAULT_JOURNAL
 
 
-#: One unit of pending work: ``(position in the seed list, seed)``.
-_Cell = Tuple[int, int]
+def set_default_executor(executor: Optional[SweepExecutor]) -> None:
+    """Install (or clear, with ``None``) the process-level sweep executor.
 
-
-def _run_wave_serial(
-    config: SimulationConfig,
-    schedulers: Sequence[Scheduler],
-    cells: Sequence[_Cell],
-) -> Tuple[List[Tuple[int, int, List[SolutionMetrics]]], List[Tuple[int, int, str]]]:
-    """One serial attempt over ``cells``; never raises on a bad seed."""
-    done: List[Tuple[int, int, List[SolutionMetrics]]] = []
-    failed: List[Tuple[int, int, str]] = []
-    for position, seed in cells:
-        try:
-            metrics = _run_one_seed(config, schedulers, seed)
-        except Exception as exc:
-            failed.append((position, seed, f"{type(exc).__name__}: {exc}"))
-        else:
-            done.append((position, seed, metrics))
-    return done, failed
-
-
-def _run_wave_pool(
-    config: SimulationConfig,
-    schedulers: Sequence[Scheduler],
-    cells: Sequence[_Cell],
-    n_jobs: int,
-    timeout_s: Optional[float],
-) -> Tuple[
-    List[Tuple[int, int, List[SolutionMetrics]]],
-    List[Tuple[int, int, str]],
-    bool,
-]:
-    """One process-pool attempt over ``cells``.
-
-    Returns ``(done, failed, pool_broken)``.  A worker crash surfaces as
-    ``BrokenProcessPool`` on its future (and on every sibling still
-    pending); a hung worker trips ``timeout_s``.  Either way the pool is
-    reported broken: its workers cannot be recovered, so the caller must
-    abandon it (``shutdown(wait=False)``) and retry the failed cells in
-    a fresh pool or serially.
+    Installed by ``tsajs run --backend``; like the other defaults it
+    exists because experiment drivers cannot be reached by per-call
+    arguments.  An explicit ``run_schemes(executor=...)`` still wins.
     """
-    from concurrent.futures import ProcessPoolExecutor
-    from concurrent.futures import TimeoutError as FuturesTimeoutError
-    from concurrent.futures.process import BrokenProcessPool
+    global _DEFAULT_EXECUTOR
+    _DEFAULT_EXECUTOR = executor
 
-    done: List[Tuple[int, int, List[SolutionMetrics]]] = []
-    failed: List[Tuple[int, int, str]] = []
-    broken = False
-    pool = ProcessPoolExecutor(max_workers=min(n_jobs, len(cells)))
-    try:
-        futures = [
-            (position, seed, pool.submit(_run_one_seed, config, schedulers, seed))
-            for position, seed in cells
-        ]
-        for position, seed, future in futures:
-            try:
-                metrics = future.result(timeout=timeout_s)
-            except FuturesTimeoutError:
-                broken = True
-                failed.append(
-                    (position, seed, f"seed {seed} exceeded the {timeout_s}s budget")
-                )
-            except BrokenProcessPool:
-                broken = True
-                failed.append(
-                    (position, seed, f"worker process died while running seed {seed}")
-                )
-            except Exception as exc:
-                failed.append((position, seed, f"{type(exc).__name__}: {exc}"))
-            else:
-                done.append((position, seed, metrics))
-    finally:
-        # A broken pool (dead or hung worker) cannot be drained; waiting
-        # on shutdown would block forever on the hung worker.
-        pool.shutdown(wait=not broken, cancel_futures=True)
-    return done, failed, broken
+
+def get_default_executor() -> Optional[SweepExecutor]:
+    """The process-level sweep executor, if one is installed."""
+    return _DEFAULT_EXECUTOR
 
 
 def _run_resilient(
     config: SimulationConfig,
     schedulers: Sequence[Scheduler],
-    cells: Sequence[_Cell],
+    cells: Sequence[Cell],
     n_jobs: int,
     policy: RetryPolicy,
     journal: Optional[SeedJournal],
-) -> Tuple[Dict[int, List[SolutionMetrics]], List[SeedFailure]]:
-    """Retry loop over pending cells; returns per-position results."""
+    executor: Optional[SweepExecutor],
+) -> "tuple[Dict[int, List[SolutionMetrics]], List[SeedFailure]]":
+    """Retry loop driving waves of pending cells through an executor."""
     rec = get_recorder()
     results: Dict[int, List[SolutionMetrics]] = {}
-    pending: List[_Cell] = list(cells)
+    pending: List[Cell] = list(cells)
     last_error: Dict[int, str] = {}
-    use_pool = n_jobs > 1 and len(pending) > 1
+    fatal_counts: Dict[int, int] = {}
+    failures: List[SeedFailure] = []
     delay = policy.backoff_s
 
-    for attempt in range(1, policy.max_attempts + 1):
-        if not pending:
-            break
-        if attempt > 1 and delay > 0:
-            if rec.enabled:
-                rec.event(
-                    "runner.backoff",
-                    attempt=attempt,
-                    delay_s=delay,
-                    n_pending=len(pending),
-                )
-                rec.count("runner.retry_waves")
-            sleep(delay)
-            delay *= policy.backoff_factor
-        if use_pool:
-            done, failed, broken = _run_wave_pool(
-                config, schedulers, pending, n_jobs, policy.seed_timeout_s
+    created_here = executor is None
+    if executor is None:
+        if n_jobs > 1 and len(pending) > 1:
+            executor = ProcessPoolSweepExecutor(n_jobs=n_jobs)
+        else:
+            executor = SerialExecutor()
+
+    try:
+        for attempt in range(1, policy.max_attempts + 1):
+            if not pending:
+                break
+            if attempt > 1 and delay > 0:
+                if rec.enabled:
+                    rec.event(
+                        "runner.backoff",
+                        attempt=attempt,
+                        delay_s=delay,
+                        n_pending=len(pending),
+                    )
+                    rec.count("runner.retry_waves")
+                sleep(delay)
+                delay *= policy.backoff_factor
+            outcome = executor.run_wave(
+                config, schedulers, pending, policy.seed_timeout_s
             )
-            if broken:
+            if outcome.broken:
                 if rec.enabled:
                     rec.event(
                         "runner.pool_broken",
                         attempt=attempt,
-                        n_failed=len(failed),
+                        backend=executor.name,
+                        n_failed=len(outcome.failed),
                         serial_fallback=policy.serial_fallback,
                     )
                     rec.count("runner.pool_breaks")
-                if policy.serial_fallback:
+                if policy.serial_fallback and executor.name != "serial":
                     if rec.enabled:
-                        rec.event("runner.serial_fallback", attempt=attempt)
-                    use_pool = False
-        else:
-            done, failed = _run_wave_serial(config, schedulers, pending)
-        for position, seed, metrics in done:
-            results[position] = metrics
-            if journal is not None:
-                journal.record_seed(config, schedulers, seed, metrics)
-        pending = [(position, seed) for position, seed, _ in failed]
-        for position, seed, error in failed:
-            last_error[position] = error
-            if rec.enabled:
-                rec.event(
-                    "runner.seed_error",
-                    seed=seed,
-                    attempt=attempt,
-                    error=error,
-                )
-                rec.count("runner.seed_errors")
+                        rec.event(
+                            "runner.serial_fallback",
+                            attempt=attempt,
+                            backend=executor.name,
+                        )
+                    executor.close()
+                    executor = SerialExecutor()
+                    created_here = True
+            for done in outcome.done:
+                results[done.position] = done.metrics
+                if journal is not None:
+                    journal.record_seed(
+                        config, schedulers, done.seed, done.metrics
+                    )
+            next_pending: List[Cell] = []
+            for failure in outcome.failed:
+                last_error[failure.position] = failure.error
+                if rec.enabled:
+                    rec.event(
+                        "runner.seed_error",
+                        seed=failure.seed,
+                        attempt=attempt,
+                        error=failure.error,
+                        fatal=failure.fatal,
+                    )
+                    rec.count("runner.seed_errors")
+                if failure.fatal:
+                    count = fatal_counts.get(failure.position, 0) + 1
+                    fatal_counts[failure.position] = count
+                    if count >= policy.quarantine_after:
+                        failures.append(
+                            SeedFailure(
+                                seed=failure.seed,
+                                attempts=attempt,
+                                error=(
+                                    f"quarantined after {count} fatal "
+                                    f"failure(s): {failure.error}"
+                                ),
+                            )
+                        )
+                        if rec.enabled:
+                            rec.event(
+                                "runner.cell_quarantined",
+                                seed=failure.seed,
+                                attempt=attempt,
+                                fatal_failures=count,
+                                error=failure.error,
+                            )
+                            rec.count("runner.cells_quarantined")
+                        continue
+                next_pending.append((failure.position, failure.seed))
+            pending = next_pending
+    finally:
+        if created_here:
+            executor.close()
 
-    failures = [
+    failures.extend(
         SeedFailure(
             seed=seed,
             attempts=policy.max_attempts,
             error=last_error.get(position, "unknown error"),
         )
         for position, seed in pending
-    ]
+    )
     if rec.enabled:
         for failure in failures:
             rec.event(
@@ -449,6 +426,7 @@ def run_schemes(
     n_jobs: Optional[int] = None,
     retry: Optional[RetryPolicy] = None,
     journal: Optional[SeedJournal] = None,
+    executor: Optional[SweepExecutor] = None,
 ) -> ExperimentResult:
     """Run every scheduler on every seed's scenario instance.
 
@@ -464,15 +442,18 @@ def run_schemes(
     parallelism is purely a wall-clock optimisation.  Schedulers must be
     picklable in that case (all built-in ones are).
 
-    ``retry`` and ``journal`` (defaulting to the process-level values
-    installed by :func:`set_default_retry` / :func:`set_default_journal`)
-    switch the runner to its resilient path: journal-cached seeds are
-    not re-run, crashed or hung seeds are retried per the policy, and
-    seeds that exhaust the budget land in ``result.failures`` instead of
-    raising — unless *no* seed completed at all, which raises
+    ``retry``, ``journal`` and ``executor`` (defaulting to the
+    process-level values installed by :func:`set_default_retry` /
+    :func:`set_default_journal` / :func:`set_default_executor`) switch
+    the runner to its resilient path: journal-cached seeds are not
+    re-run, crashed or hung seeds are retried per the policy, poison
+    cells that repeatedly kill workers are quarantined, and seeds that
+    exhaust the budget land in ``result.failures`` instead of raising —
+    unless *no* seed completed at all, which raises
     :class:`~repro.errors.SolverError`.  A completed seed's metrics are
-    identical on the legacy and resilient paths (same work unit, same
-    seed-ordered merge), so retries and resumes never change results.
+    identical on the legacy and resilient paths and on every executor
+    backend (same work unit, same seed-ordered merge), so retries,
+    resumes and backend choice never change results.
     """
     seeds = list(seeds)
     if not seeds:
@@ -488,20 +469,23 @@ def run_schemes(
         retry = _DEFAULT_RETRY
     if journal is None:
         journal = _DEFAULT_JOURNAL
+    if executor is None:
+        executor = _DEFAULT_EXECUTOR
     rec = get_recorder()
 
     result = ExperimentResult(config=config, seeds=seeds)
     for name in names:
         result.metrics[name] = []
 
+    resilient = retry is not None or journal is not None or executor is not None
     with rec.span(
         "runner.run_schemes",
         n_seeds=len(seeds),
         n_jobs=n_jobs,
         schemes=names,
-        resilient=retry is not None or journal is not None,
+        resilient=resilient,
     ):
-        if retry is None and journal is None:
+        if not resilient:
             # Legacy fail-fast path: bitwise-identical to the original
             # runner, exceptions propagate to the caller.
             if n_jobs == 1 or len(seeds) == 1:
@@ -530,7 +514,7 @@ def run_schemes(
             return result
 
         by_position: Dict[int, List[SolutionMetrics]] = {}
-        pending: List[_Cell] = []
+        pending: List[Cell] = []
         for position, seed in enumerate(seeds):
             cached = (
                 journal.lookup_seed(config, schedulers, seed) if journal else None
@@ -546,7 +530,7 @@ def run_schemes(
         policy = retry if retry is not None else RetryPolicy()
         if pending:
             computed, failures = _run_resilient(
-                config, schedulers, pending, n_jobs, policy, journal
+                config, schedulers, pending, n_jobs, policy, journal, executor
             )
             by_position.update(computed)
             result.failures = failures
@@ -576,8 +560,9 @@ class ExperimentRunner:
     determinism tests).  ``n_workers=None`` defers to ``config.n_workers``;
     any value keeps the deterministic seed-ordered merge, so
     ``ExperimentRunner(..., n_workers=4).run(seeds)`` returns exactly the
-    same metrics as the serial run.  ``retry`` / ``journal`` opt in to
-    the resilient path exactly as in :func:`run_schemes`.
+    same metrics as the serial run.  ``retry`` / ``journal`` /
+    ``executor`` opt in to the resilient path exactly as in
+    :func:`run_schemes`.
     """
 
     config: SimulationConfig
@@ -585,6 +570,7 @@ class ExperimentRunner:
     n_workers: Optional[int] = None
     retry: Optional[RetryPolicy] = None
     journal: Optional[SeedJournal] = None
+    executor: Optional[SweepExecutor] = None
 
     def run(self, seeds: Sequence[int]) -> ExperimentResult:
         """Run every scheduler on every seed (see :func:`run_schemes`)."""
@@ -595,4 +581,5 @@ class ExperimentRunner:
             n_jobs=self.n_workers,
             retry=self.retry,
             journal=self.journal,
+            executor=self.executor,
         )

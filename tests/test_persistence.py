@@ -278,10 +278,35 @@ class TestSweepJournal:
             SweepJournal(path, resume=True)
 
     def test_malformed_record_is_rejected(self, tmp_path):
+        from repro.experiments.persistence import FORMAT_VERSION, code_fingerprint
+
         path = tmp_path / "j.jsonl"
-        path.write_text('{"format_version": 2, "digest": "d"}\n\n')
+        record = {
+            "format_version": FORMAT_VERSION,
+            "code": code_fingerprint(),
+            "digest": "d",
+        }
+        path.write_text(json.dumps(record) + "\n\n")
         with pytest.raises(ConfigurationError, match="malformed journal"):
             SweepJournal(path, resume=True)
+
+    def test_stale_code_fingerprint_is_rejected(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = SweepJournal(path)
+        journal.record("d", "s", 0, sample_metrics())
+        record = json.loads(path.read_text())
+        record["code"] = "0000000000000000"
+        path.write_text(json.dumps(record) + "\n")
+        with pytest.raises(ConfigurationError, match="--no-resume"):
+            SweepJournal(path, resume=True)
+
+    def test_records_carry_current_code_fingerprint(self, tmp_path):
+        from repro.experiments.persistence import code_fingerprint
+
+        path = tmp_path / "j.jsonl"
+        SweepJournal(path).record("d", "s", 0, sample_metrics())
+        record = json.loads(path.read_text())
+        assert record["code"] == code_fingerprint()
 
     def test_creates_parent_directories(self, tmp_path):
         journal = SweepJournal(tmp_path / "deep" / "nested" / "j.jsonl")

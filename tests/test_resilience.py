@@ -36,6 +36,7 @@ from repro.sim.runner import (
     SeedFailure,
     get_default_journal,
     run_schemes,
+    set_default_executor,
     set_default_journal,
     set_default_retry,
 )
@@ -45,10 +46,11 @@ CONFIG = SimulationConfig(n_users=4, n_servers=2, n_subbands=2)
 
 @pytest.fixture(autouse=True)
 def _clear_module_defaults():
-    """Never leak process-level retry/journal defaults across tests."""
+    """Never leak process-level retry/journal/executor defaults across tests."""
     yield
     set_default_retry(None)
     set_default_journal(None)
+    set_default_executor(None)
 
 
 def _touch_unique(directory: str, prefix: str) -> None:

@@ -1,0 +1,265 @@
+"""Chaos and determinism tests for the content-addressed result cache.
+
+The contract: a cache entry is only ever (a) absent, (b) a complete,
+checksum-verified record that reproduces the original metrics bitwise,
+or (c) quarantined to ``corrupt/`` and recomputed.  A warm cache changes
+wall time, never bytes, and never draws RNG streams the fresh run would
+not have drawn.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from dataclasses import dataclass
+
+import pytest
+
+from repro.baselines import GreedyScheduler
+from repro.experiments.cache import ResultCache, cell_key
+from repro.experiments.persistence import code_fingerprint
+from repro.sanitize import sanitized
+from repro.sim.config import SimulationConfig
+from repro.sim.runner import run_schemes, set_default_journal, set_default_retry
+from tests.test_resilience import assert_identical_metrics
+
+CONFIG = SimulationConfig(n_users=4, n_servers=2, n_subbands=2)
+
+
+@pytest.fixture(autouse=True)
+def _clear_module_defaults():
+    yield
+    set_default_retry(None)
+    set_default_journal(None)
+
+
+def _touch_unique(directory: str, prefix: str) -> None:
+    fd, _ = tempfile.mkstemp(prefix=prefix, dir=directory)
+    os.close(fd)
+
+
+@dataclass(frozen=True)
+class CountingScheduler:
+    """Greedy, plus a marker file per ``schedule`` call."""
+
+    marker_dir: str
+    name: str = "Counting"
+
+    def schedule(self, scenario, rng):
+        _touch_unique(self.marker_dir, "call_")
+        return GreedyScheduler().schedule(scenario, rng)
+
+
+def _calls(directory) -> int:
+    return len([p for p in os.listdir(directory) if p.startswith("call_")])
+
+
+class TestCellKey:
+    def test_stable_across_calls(self):
+        a = cell_key(CONFIG, GreedyScheduler(), 7)
+        b = cell_key(CONFIG, GreedyScheduler(), 7)
+        assert a == b
+        assert len(a) == 64  # full sha256, no truncation
+
+    def test_sensitive_to_every_component(self):
+        base = cell_key(CONFIG, GreedyScheduler(), 7)
+        assert cell_key(CONFIG, GreedyScheduler(), 8) != base
+        other_config = SimulationConfig(n_users=5, n_servers=2, n_subbands=2)
+        assert cell_key(other_config, GreedyScheduler(), 7) != base
+        assert cell_key(CONFIG, GreedyScheduler(), 7, code="ffff") != base
+
+    def test_includes_current_code_fingerprint(self):
+        explicit = cell_key(CONFIG, GreedyScheduler(), 7, code=code_fingerprint())
+        assert explicit == cell_key(CONFIG, GreedyScheduler(), 7)
+
+
+class TestRoundTrip:
+    def test_put_get_is_exact(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        result = run_schemes(CONFIG, [GreedyScheduler()], [3])
+        metrics = result.metrics["Greedy"][0]
+        key = cell_key(CONFIG, GreedyScheduler(), 3)
+        cache.put(key, metrics)
+        assert cache.get(key) == metrics
+        assert len(cache) == 1
+
+    def test_missing_key_is_none(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        assert cache.get("ab" * 32) is None
+
+    def test_entries_are_sharded(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        result = run_schemes(CONFIG, [GreedyScheduler()], [3])
+        key = cell_key(CONFIG, GreedyScheduler(), 3)
+        cache.put(key, result.metrics["Greedy"][0])
+        assert (tmp_path / "c" / key[:2] / f"{key}.json").exists()
+
+
+class TestWarmRuns:
+    def test_warm_cache_serves_without_scheduler_calls(self, tmp_path):
+        marker = tmp_path / "markers"
+        marker.mkdir()
+        cache = ResultCache(tmp_path / "c")
+        schedulers = [CountingScheduler(str(marker))]
+        cold = run_schemes(CONFIG, schedulers, [1, 2], journal=cache)
+        cold_calls = _calls(marker)
+        assert cold_calls == 2
+        warm = run_schemes(CONFIG, schedulers, [1, 2], journal=cache)
+        assert _calls(marker) == cold_calls  # not one more call
+        # Bitwise identity including wall_time_s: the warm run replays
+        # the stored record, it does not re-measure anything.
+        assert cold.metrics == warm.metrics
+
+    def test_warm_run_draws_no_rng_streams(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        run_schemes(CONFIG, [GreedyScheduler()], [1, 2], journal=cache)
+        with sanitized() as warm:
+            result = run_schemes(
+                CONFIG, [GreedyScheduler()], [1, 2], journal=cache
+            )
+        assert warm.snapshot() == {}
+        assert not result.failures
+
+    def test_partially_warm_run_draws_only_missing_seeds(self, tmp_path):
+        config = SimulationConfig(n_users=6, n_servers=2)
+        with sanitized() as fresh:
+            fresh_result = run_schemes(config, [GreedyScheduler()], [1, 2, 3])
+        cache = ResultCache(tmp_path / "c")
+        run_schemes(config, [GreedyScheduler()], [1, 2], journal=cache)
+        with sanitized() as resumed:
+            resumed_result = run_schemes(
+                config, [GreedyScheduler()], [1, 2, 3], journal=cache
+            )
+        expected = {f"child:3:{stream}" for stream in (0, 1, 100)}
+        fresh_snapshot = fresh.snapshot()
+        resumed_snapshot = resumed.snapshot()
+        assert set(resumed_snapshot) == expected
+        for label, account in resumed_snapshot.items():
+            assert account["state"] == fresh_snapshot[label]["state"]
+            assert account["draws"] == fresh_snapshot[label]["draws"]
+        assert_identical_metrics(fresh_result, resumed_result)
+
+    def test_no_resume_recomputes_but_still_records(self, tmp_path):
+        marker = tmp_path / "markers"
+        marker.mkdir()
+        schedulers = [CountingScheduler(str(marker))]
+        warm = ResultCache(tmp_path / "c")
+        run_schemes(CONFIG, schedulers, [1], journal=warm)
+        assert _calls(marker) == 1
+        no_resume = ResultCache(tmp_path / "c", resume=False)
+        run_schemes(CONFIG, schedulers, [1], journal=no_resume)
+        assert _calls(marker) == 2  # recomputed despite the stored entry
+        assert len(no_resume) == 1  # and overwrote it in place
+
+
+class TestCorruption:
+    def _seed_cache(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        result = run_schemes(
+            CONFIG, [GreedyScheduler()], [1, 2], journal=cache
+        )
+        return cache, result
+
+    def test_truncated_entry_is_quarantined_and_recomputed(self, tmp_path):
+        cache, cold = self._seed_cache(tmp_path)
+        key = cell_key(CONFIG, GreedyScheduler(), 1)
+        path = cache._entry_path(key)
+        # A torn write: the file ends mid-payload.
+        path.write_text(path.read_text()[: len(path.read_text()) // 2])
+        recomputed = run_schemes(
+            CONFIG, [GreedyScheduler()], [1, 2], journal=cache
+        )
+        assert len(cache.corrupt_entries()) == 1
+        assert len(cache) == 2  # the entry was rewritten
+        assert_identical_metrics(cold, recomputed)
+        # And the rewritten entry reads back clean.
+        assert cache.get(key) is not None
+
+    def test_bit_flip_is_caught_by_checksum(self, tmp_path):
+        cache, cold = self._seed_cache(tmp_path)
+        key = cell_key(CONFIG, GreedyScheduler(), 2)
+        path = cache._entry_path(key)
+        raw = bytearray(path.read_bytes())
+        # Flip one digit inside the stored metrics payload: the JSON
+        # stays perfectly parseable, only the checksum can notice.
+        index = raw.find(b'"system_utility":') + len(b'"system_utility":') + 3
+        raw[index] = ord("1") if raw[index] != ord("1") else ord("2")
+        path.write_bytes(bytes(raw))
+        recomputed = run_schemes(
+            CONFIG, [GreedyScheduler()], [1, 2], journal=cache
+        )
+        assert len(cache.corrupt_entries()) == 1
+        assert_identical_metrics(cold, recomputed)
+
+    def test_quarantine_keeps_every_specimen(self, tmp_path):
+        cache, _ = self._seed_cache(tmp_path)
+        key = cell_key(CONFIG, GreedyScheduler(), 1)
+        for _ in range(2):
+            cache._entry_path(key).write_text("garbage")
+            assert cache.get(key) is None
+        assert len(cache.corrupt_entries()) == 2
+
+    def test_wrong_key_claim_is_rejected(self, tmp_path):
+        cache, _ = self._seed_cache(tmp_path)
+        key1 = cell_key(CONFIG, GreedyScheduler(), 1)
+        key2 = cell_key(CONFIG, GreedyScheduler(), 2)
+        # Copy seed 2's entry under seed 1's name: valid JSON, valid
+        # checksum, wrong identity.
+        cache._entry_path(key1).write_bytes(cache._entry_path(key2).read_bytes())
+        assert cache.get(key1) is None
+        assert len(cache.corrupt_entries()) == 1
+
+
+class TestCodeFingerprintIsolation:
+    def test_entries_from_other_builds_are_unreachable(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        result = run_schemes(CONFIG, [GreedyScheduler()], [1])
+        metrics = result.metrics["Greedy"][0]
+        stale_key = cell_key(CONFIG, GreedyScheduler(), 1, code="0" * 16)
+        cache.put(stale_key, metrics)
+        # The current build addresses the same cell under a different
+        # key, so the stale entry is simply never consulted.
+        assert cache.lookup_seed(CONFIG, [GreedyScheduler()], 1) is None
+
+    def test_stats_reports_occupancy(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        run_schemes(CONFIG, [GreedyScheduler()], [1, 2], journal=cache)
+        stats = cache.stats()
+        assert stats["entries"] == 2
+        assert stats["corrupt"] == 0
+
+
+class TestCliCache:
+    def test_run_with_cache_flag_cold_then_warm(self, tmp_path, capsys):
+        from repro.cli import main
+
+        cache_dir = tmp_path / "cache"
+        assert main(["run", "fig9", "--quick", "--cache", str(cache_dir)]) == 0
+        cold_text = capsys.readouterr().out
+        assert main(["run", "fig9", "--quick", "--cache", str(cache_dir)]) == 0
+        warm_text = capsys.readouterr().out
+        assert cold_text == warm_text  # byte-identical rendered output
+        assert any(cache_dir.iterdir())
+
+    def test_cache_and_journal_are_mutually_exclusive(self, tmp_path, capsys):
+        from repro.cli import main
+
+        status = main(
+            [
+                "run",
+                "fig9",
+                "--quick",
+                "--cache",
+                str(tmp_path / "c"),
+                "--journal",
+                str(tmp_path / "j.jsonl"),
+            ]
+        )
+        assert status == 2
+        assert "pick one" in capsys.readouterr().err
+
+    def test_no_resume_requires_a_store(self, capsys):
+        from repro.cli import main
+
+        assert main(["run", "fig9", "--quick", "--no-resume"]) == 2
+        assert "--no-resume requires" in capsys.readouterr().err
