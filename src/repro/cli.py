@@ -280,6 +280,39 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     solve_parser.add_argument(
+        "--shard",
+        action="store_true",
+        help=(
+            "solve via spatial sharding: partition the topology into "
+            "cell clusters, solve each independently, then reconcile "
+            "boundary users (see docs/sharding.md)"
+        ),
+    )
+    solve_parser.add_argument(
+        "--cluster-radius",
+        type=float,
+        default=2.0,
+        metavar="KM",
+        help="grid-tile side for the station partition with --shard (km)",
+    )
+    solve_parser.add_argument(
+        "--interference-radius",
+        type=float,
+        default=None,
+        metavar="KM",
+        help=(
+            "far-field cutoff distance with --shard (km); defaults to "
+            "the inter-site distance"
+        ),
+    )
+    solve_parser.add_argument(
+        "--reconcile-rounds",
+        type=int,
+        default=2,
+        metavar="R",
+        help="boundary-reconciliation fixed-point cap with --shard",
+    )
+    solve_parser.add_argument(
         "--trace",
         metavar="FILE",
         help="record a schema-v1 span/event trace of the solve to FILE",
@@ -721,11 +754,20 @@ def _cmd_solve_body(args: argparse.Namespace) -> int:
         use_delta=args.delta,
         use_batch=args.batch,
         batch_size=args.batch_size,
+        use_sharding=args.shard,
+        cluster_radius_km=args.cluster_radius,
+        interference_radius_km=args.interference_radius,
+        max_reconcile_rounds=args.reconcile_rounds,
     )
     scenario = Scenario.build(config, seed=args.seed)
+    if config.use_sharding:
+        from repro.sim.validation import validate_sharding_config
+
+        validate_sharding_config(config, scenario.topology)
     print(
         f"instance: U={args.users} S={args.servers} N={args.subbands} "
         f"w={args.workload_mc:.0f} Mc d={args.input_kb:.0f} KB seed={args.seed}"
+        + (" [sharded]" if config.use_sharding else "")
     )
     names = [name.strip() for name in args.schemes.split(",") if name.strip()]
     schedulers = build_schemes(
@@ -734,6 +776,10 @@ def _cmd_solve_body(args: argparse.Namespace) -> int:
         use_delta=config.use_delta,
         use_batch=config.use_batch,
         batch_size=config.batch_size,
+        use_sharding=config.use_sharding,
+        cluster_radius_km=config.cluster_radius_km,
+        interference_radius_km=config.interference_radius_km,
+        max_reconcile_rounds=config.max_reconcile_rounds,
     )
     for index, scheduler in enumerate(schedulers):
         rng = child_rng(args.seed, 100 + index)
@@ -764,10 +810,11 @@ def _cmd_solve_sanitized(args: argparse.Namespace) -> int:
         ("delta", True, False),
         ("batch", False, True),
     )
+    shard_tag = " sharded" if args.shard else ""
     print(
         f"instance: U={args.users} S={args.servers} N={args.subbands} "
         f"w={args.workload_mc:.0f} Mc d={args.input_kb:.0f} KB "
-        f"seed={args.seed} [sanitize: scalar/delta/batch replay]"
+        f"seed={args.seed} [sanitize: scalar/delta/batch{shard_tag} replay]"
     )
     snapshots = {}
     utilities: Dict[str, Dict[str, float]] = {}
@@ -781,6 +828,10 @@ def _cmd_solve_sanitized(args: argparse.Namespace) -> int:
             use_delta=use_delta,
             use_batch=use_batch,
             batch_size=args.batch_size,
+            use_sharding=args.shard,
+            cluster_radius_km=args.cluster_radius,
+            interference_radius_km=args.interference_radius,
+            max_reconcile_rounds=args.reconcile_rounds,
         )
         with sanitized() as sanitizer:
             scenario = Scenario.build(config, seed=args.seed)
@@ -790,6 +841,10 @@ def _cmd_solve_sanitized(args: argparse.Namespace) -> int:
                 use_delta=use_delta,
                 use_batch=use_batch,
                 batch_size=args.batch_size,
+                use_sharding=config.use_sharding,
+                cluster_radius_km=config.cluster_radius_km,
+                interference_radius_km=config.interference_radius_km,
+                max_reconcile_rounds=config.max_reconcile_rounds,
             )
             for index, scheduler in enumerate(schedulers):
                 rng = child_rng(args.seed, 100 + index)

@@ -14,6 +14,11 @@
 * :mod:`repro.core.neighborhood` — the move generator (Algorithm 2).
 * :mod:`repro.core.scheduler` — TSAJS itself: TTSA over decisions with KKT
   allocation, returning ``(X, F, J)``.
+* :mod:`repro.core.partition` — spatial clustering of metro-scale
+  topologies (grid-tile partitioner, boundary sets, sub-scenario
+  extraction).
+* :mod:`repro.core.sharding` — the sharded scheduler: per-cluster TTSA
+  solves stitched together with a boundary-reconciliation fixed point.
 """
 
 from repro.core.allocation import kkt_allocation, optimal_allocation_cost
@@ -23,21 +28,27 @@ from repro.core.decision import LOCAL, OffloadingDecision
 from repro.core.delta import DeltaEvaluator
 from repro.core.neighborhood import NeighborhoodSampler
 from repro.core.objective import ObjectiveEvaluator, UtilityBreakdown
+from repro.core.partition import Cluster, Partition, partition_scenario
 from repro.core.scheduler import ScheduleResult, TsajsScheduler
+from repro.core.sharding import ShardedScheduler
 
 __all__ = [
     "LOCAL",
     "AnnealingSchedule",
     "BatchEvaluator",
+    "Cluster",
     "DeltaEvaluator",
     "ParallelTemperingScheduler",
     "NeighborhoodSampler",
     "ObjectiveEvaluator",
     "OffloadingDecision",
+    "Partition",
     "ScheduleResult",
+    "ShardedScheduler",
     "ThresholdTriggeredAnnealer",
     "TsajsScheduler",
     "UtilityBreakdown",
     "kkt_allocation",
     "optimal_allocation_cost",
+    "partition_scenario",
 ]

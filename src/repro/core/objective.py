@@ -93,8 +93,16 @@ class ObjectiveEvaluator:
     implementation and to count evaluations (used by the runtime figures).
     """
 
-    def __init__(self, scenario: "Scenario") -> None:
+    def __init__(
+        self, scenario: "Scenario", external_rx: Optional[np.ndarray] = None
+    ) -> None:
         self.scenario = scenario
+        #: Optional ``(N, S)`` frozen out-of-instance received power
+        #: (the sharded scheduler's boundary coupling); ``None`` leaves
+        #: the evaluation path bitwise identical to the global one.
+        self.external_rx = (
+            None if external_rx is None else np.asarray(external_rx, dtype=float)
+        )
         #: Number of fast-path objective evaluations performed, for the
         #: algorithm-complexity experiments (Fig. 8).
         self.evaluations = 0
@@ -120,6 +128,7 @@ class ObjectiveEvaluator:
             server_of_user,
             channel_of_user,
             validate=False,
+            external_rx=self.external_rx,
         )
         mask = server_of_user >= 0
         offloaded = np.flatnonzero(mask)
@@ -186,6 +195,7 @@ class ObjectiveEvaluator:
             sc.subband_width_hz,
             decision.server,
             decision.channel,
+            external_rx=self.external_rx,
         )
         n = sc.n_users
         upload = np.zeros(n)

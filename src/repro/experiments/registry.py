@@ -23,6 +23,7 @@ from repro.experiments import (
     ext_metaheuristics,
     ext_partial,
     ext_power_control,
+    ext_sharding,
     fig3_suboptimality,
     fig4_user_scale,
     fig5_data_size,
@@ -129,6 +130,11 @@ EXPERIMENTS: Dict[str, ExperimentSpec] = {
             "ext_faults",
             "Extension: graceful degradation under injected faults",
             ext_faults,
+        ),
+        _spec(
+            "ext_sharding",
+            "Extension: sharded-vs-global utility gap vs cluster radius",
+            ext_sharding,
         ),
     )
 }

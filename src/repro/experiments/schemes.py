@@ -10,7 +10,7 @@ the TSAJS variants.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
 from repro.baselines import (
     AllLocalScheduler,
@@ -24,6 +24,7 @@ from repro.baselines import (
 from repro.core.annealing import AnnealingSchedule
 from repro.core.batch import ParallelTemperingScheduler
 from repro.core.scheduler import Scheduler, TsajsScheduler
+from repro.core.sharding import ShardedScheduler
 from repro.errors import ConfigurationError
 from repro.extensions.power_control import TsajsWithPowerControl
 
@@ -41,12 +42,21 @@ class SchemeOptions:
     mutually exclusive); ``batch_size`` sizes the speculative batches of
     the vectorized path and the parallel-tempering scheme.  Baselines
     without an annealer inner loop ignore the evaluation knobs.
+
+    ``use_sharding`` swaps the TSAJS factory for the spatially sharded
+    solver (``TSAJS-Shard`` always builds it); ``cluster_radius_km``,
+    ``interference_radius_km`` and ``max_reconcile_rounds`` forward to
+    :class:`~repro.core.sharding.ShardedScheduler`.
     """
 
     quick: bool = False
     use_delta: bool = False
     use_batch: bool = False
     batch_size: int = 64
+    use_sharding: bool = False
+    cluster_radius_km: float = 2.0
+    interference_radius_km: Optional[float] = None
+    max_reconcile_rounds: int = 2
 
     def __post_init__(self) -> None:
         if self.use_delta and self.use_batch:
@@ -65,14 +75,29 @@ def _annealing(quick: bool) -> AnnealingSchedule:
     )
 
 
+def _sharded(opts: SchemeOptions) -> ShardedScheduler:
+    return ShardedScheduler(
+        cluster_radius_km=opts.cluster_radius_km,
+        interference_radius_km=opts.interference_radius_km,
+        max_reconcile_rounds=opts.max_reconcile_rounds,
+        schedule=_annealing(opts.quick),
+        use_delta=opts.use_delta,
+        use_batch=opts.use_batch,
+        batch_size=opts.batch_size,
+    )
+
+
 #: Scheme name -> factory taking a :class:`SchemeOptions`.
 SCHEME_FACTORIES: Dict[str, Callable[[SchemeOptions], Scheduler]] = {
-    "TSAJS": lambda opts: TsajsScheduler(
+    "TSAJS": lambda opts: _sharded(opts)
+    if opts.use_sharding
+    else TsajsScheduler(
         schedule=_annealing(opts.quick),
         use_delta=opts.use_delta,
         use_batch=opts.use_batch,
         batch_size=opts.batch_size,
     ),
+    "TSAJS-Shard": _sharded,
     "TSAJS-PT": lambda opts: ParallelTemperingScheduler(
         schedule=_annealing(opts.quick), batch_size=opts.batch_size
     ),
@@ -103,6 +128,10 @@ def build_schemes(
     use_delta: bool = False,
     use_batch: bool = False,
     batch_size: int = 64,
+    use_sharding: bool = False,
+    cluster_radius_km: float = 2.0,
+    interference_radius_km: Optional[float] = None,
+    max_reconcile_rounds: int = 2,
 ) -> List[Scheduler]:
     """Instantiate schedulers for the given scheme names.
 
@@ -115,6 +144,10 @@ def build_schemes(
         use_delta=use_delta,
         use_batch=use_batch,
         batch_size=batch_size,
+        use_sharding=use_sharding,
+        cluster_radius_km=cluster_radius_km,
+        interference_radius_km=interference_radius_km,
+        max_reconcile_rounds=max_reconcile_rounds,
     )
     schedulers = []
     for name in names:

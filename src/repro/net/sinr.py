@@ -168,6 +168,7 @@ def compute_link_stats(
     server_of_user: np.ndarray,
     channel_of_user: np.ndarray,
     validate: bool = True,
+    external_rx: np.ndarray | None = None,
 ) -> LinkStats:
     """Evaluate Eq. (3)-(4) for every user under a given assignment.
 
@@ -185,6 +186,12 @@ def compute_link_stats(
         Compact assignment vectors (``LOCAL`` = execute locally).
     validate:
         Skip input validation when the caller guarantees shapes (hot path).
+    external_rx:
+        Optional ``(N, S)`` frozen received power from transmitters
+        *outside* this instance (the sharded scheduler's boundary
+        coupling), added elementwise to the interference buckets.  With
+        ``None`` the computation is untouched — the default path stays
+        bitwise identical to the pre-sharding implementation.
     """
     gains = np.asarray(gains, dtype=float)
     tx_power_watts = np.asarray(tx_power_watts, dtype=float)
@@ -198,6 +205,13 @@ def compute_link_stats(
             raise ConfigurationError(
                 f"sub-band width must be positive, got {subband_width_hz}"
             )
+        if external_rx is not None:
+            expected = (gains.shape[2], gains.shape[1])
+            if np.asarray(external_rx).shape != expected:
+                raise ConfigurationError(
+                    f"external_rx must have shape {expected}, got "
+                    f"{np.asarray(external_rx).shape}"
+                )
 
     n_users, n_servers, n_channels = gains.shape
     sinr = np.zeros(n_users)
@@ -221,6 +235,8 @@ def compute_link_stats(
         total_rx = total_received_power(
             gains, tx_power_watts, server_of_user, channel_of_user
         )
+        if external_rx is not None:
+            total_rx = total_rx + np.asarray(external_rx, dtype=float)
 
         signal = tx_power_watts[offloaded] * gains[offloaded, srv, chan]
         interference = total_rx[chan, srv] - signal

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Optional
 
 from repro.errors import ConfigurationError
 from repro.units import dbm_to_watts, ghz_to_hz, kb_to_bits, megacycles_to_cycles, mhz_to_hz
@@ -72,6 +72,24 @@ class SimulationConfig:
     #: Default process count for multi-seed runs (1 = run in-process).
     n_workers: int = 1
 
+    # Spatial sharding (metro-scale decomposition; see docs/sharding.md).
+    #: Solve via :class:`~repro.core.sharding.ShardedScheduler`: partition
+    #: the topology into cell clusters, solve each independently, then
+    #: reconcile boundary users.  Exact (bitwise-identical) when the
+    #: partition yields one cluster; a bounded approximation otherwise.
+    use_sharding: bool = False
+    #: Grid-tile side for the station partition, in km.  Larger tiles
+    #: mean fewer cut interference edges (smaller utility gap) but
+    #: costlier per-cluster solves.
+    cluster_radius_km: float = 2.0
+    #: Far-field cutoff: stations beyond this distance are treated as
+    #: non-interfering when computing boundary sets.  ``None`` resolves
+    #: to the inter-site distance at solve time.
+    interference_radius_km: Optional[float] = None
+    #: Fixed-point iteration cap for the boundary-reconciliation pass
+    #: (0 disables reconciliation).
+    max_reconcile_rounds: int = 2
+
     def __post_init__(self) -> None:
         if self.n_users < 0:
             raise ConfigurationError(f"n_users must be non-negative, got {self.n_users}")
@@ -120,6 +138,20 @@ class SimulationConfig:
         if self.n_workers < 1:
             raise ConfigurationError(
                 f"n_workers must be >= 1, got {self.n_workers}"
+            )
+        if self.cluster_radius_km <= 0:
+            raise ConfigurationError(
+                f"cluster_radius_km must be positive, got {self.cluster_radius_km}"
+            )
+        if self.interference_radius_km is not None and self.interference_radius_km <= 0:
+            raise ConfigurationError(
+                "interference_radius_km must be positive, got "
+                f"{self.interference_radius_km}"
+            )
+        if self.max_reconcile_rounds < 0:
+            raise ConfigurationError(
+                "max_reconcile_rounds must be non-negative, got "
+                f"{self.max_reconcile_rounds}"
             )
 
     # --- SI accessors -----------------------------------------------------

@@ -8,15 +8,27 @@ tests (and paranoid callers) can verify any result independently.
 
 from __future__ import annotations
 
+import warnings
+from typing import List, Optional
+
 import numpy as np
 
 from repro.core.decision import OffloadingDecision
 from repro.core.scheduler import ScheduleResult
-from repro.errors import InfeasibleAllocationError, InfeasibleDecisionError
+from repro.errors import ConfigurationError, InfeasibleAllocationError, InfeasibleDecisionError
+from repro.net.pathloss import UrbanMacroPathLoss
+from repro.net.topology import Topology
+from repro.sim.config import SimulationConfig
 from repro.sim.scenario import Scenario
 
 #: Relative tolerance for the capacity constraint (12f).
 _CAPACITY_RTOL = 1e-9
+
+#: Margin (linear power ratio) by which the mean received power at the
+#: far-field cutoff radius must sit *below* the noise floor for the
+#: cutoff assumption to hold — 10 dB, i.e. neglected interferers each
+#: contribute at most a tenth of the thermal noise.
+_FARFIELD_MARGIN = 0.1
 
 
 def validate_decision(scenario: Scenario, decision: OffloadingDecision) -> None:
@@ -85,3 +97,98 @@ def is_feasible_result(scenario: Scenario, result: ScheduleResult) -> bool:
     except (InfeasibleDecisionError, InfeasibleAllocationError):
         return False
     return True
+
+
+def validate_sharding_geometry(
+    cluster_radius_km: float,
+    interference_radius_km: float,
+    *,
+    tx_power_watts: float,
+    noise_watts: float,
+    pathloss: UrbanMacroPathLoss,
+    topology: Optional[Topology] = None,
+) -> List[str]:
+    """Check the sharding radii against the path-loss model's validity.
+
+    Raises :class:`ConfigurationError` for non-positive radii.  Two
+    soft hazards are *warned* about (via :mod:`warnings`) and returned
+    as messages so callers and tests can inspect them:
+
+    * **far-field cutoff invalid** — the mean received power at the
+      interference radius is within 10 dB of the noise floor, so
+      interferers the partition neglects are not actually negligible
+      (log-normal shadowing widens the tail further);
+    * **cluster diameter below the cutoff** — with
+      ``interference_radius_km > cluster_radius_km`` a boundary halo
+      spans whole neighbouring tiles, i.e. the clusters are too small
+      for the locality assumption and the decomposition degenerates to
+      "everything is boundary".
+
+    ``topology`` additionally enables a sanity note when the whole
+    deployment fits inside one interference radius (sharding then buys
+    nothing: every pair of cells couples).
+    """
+    if cluster_radius_km <= 0:
+        raise ConfigurationError(
+            f"cluster_radius_km must be positive, got {cluster_radius_km}"
+        )
+    if interference_radius_km <= 0:
+        raise ConfigurationError(
+            "interference_radius_km must be positive, got "
+            f"{interference_radius_km}"
+        )
+    messages: List[str] = []
+    cutoff_rx = tx_power_watts * pathloss.gain_linear(interference_radius_km)
+    if cutoff_rx > noise_watts * _FARFIELD_MARGIN:
+        messages.append(
+            "far-field cutoff assumption invalid: mean received power at "
+            f"{interference_radius_km} km is {cutoff_rx:.3e} W, above "
+            f"{_FARFIELD_MARGIN:g}x the noise floor ({noise_watts:.3e} W); "
+            "increase interference_radius_km so neglected interferers are "
+            "actually negligible"
+        )
+    if interference_radius_km > cluster_radius_km:
+        messages.append(
+            "cluster diameter below the far-field cutoff: "
+            f"interference_radius_km={interference_radius_km} exceeds "
+            f"cluster_radius_km={cluster_radius_km}, so boundary halos span "
+            "whole neighbouring clusters; enlarge cluster_radius_km for an "
+            "effective decomposition"
+        )
+    if topology is not None and topology.extent_km() <= interference_radius_km:
+        messages.append(
+            "deployment extent "
+            f"({topology.extent_km():.3g} km) does not exceed the "
+            f"interference radius ({interference_radius_km} km): every cell "
+            "pair couples, so sharding degenerates to a single cluster's "
+            "cost with extra bookkeeping"
+        )
+    for message in messages:
+        warnings.warn(message, stacklevel=2)
+    return messages
+
+
+def validate_sharding_config(
+    config: SimulationConfig, topology: Optional[Topology] = None
+) -> List[str]:
+    """:func:`validate_sharding_geometry` driven by a config's fields.
+
+    Resolves ``interference_radius_km=None`` to the inter-site distance,
+    matching :class:`~repro.core.sharding.ShardedScheduler`.
+    """
+    interference_radius = (
+        config.interference_radius_km
+        if config.interference_radius_km is not None
+        else config.inter_site_distance_km
+    )
+    return validate_sharding_geometry(
+        config.cluster_radius_km,
+        interference_radius,
+        tx_power_watts=config.tx_power_watts,
+        noise_watts=config.noise_watts,
+        pathloss=UrbanMacroPathLoss(
+            intercept_db=config.pathloss_intercept_db,
+            slope_db=config.pathloss_slope_db,
+        ),
+        topology=topology,
+    )

@@ -99,6 +99,54 @@ def run_trajectory(
     )
 
 
+def run_sharded_trajectory(
+    scenario: Scenario,
+    seed: int,
+    mode: str,
+    cluster_radius_km: float,
+    interference_radius_km: Optional[float] = None,
+    max_reconcile_rounds: int = 2,
+    schedule: Optional[AnnealingSchedule] = None,
+    batch_size: int = 64,
+    stream: int = 100,
+) -> Trajectory:
+    """Run the spatially sharded solver and capture its trajectory.
+
+    Uses the same ``child_rng`` stream protocol as :func:`run_trajectory`,
+    so a single-cluster sharded capture is directly comparable (bitwise)
+    to the global capture of the matching evaluation ``mode``.
+    """
+    from repro.core.sharding import ShardedScheduler
+
+    if mode not in MODES:
+        raise ValueError(f"unknown mode {mode!r}; expected one of {MODES}")
+    if schedule is None:
+        schedule = AnnealingSchedule(chain_length=15, min_temperature=1e-2)
+    scheduler = ShardedScheduler(
+        cluster_radius_km=cluster_radius_km,
+        interference_radius_km=interference_radius_km,
+        max_reconcile_rounds=max_reconcile_rounds,
+        schedule=schedule,
+        record_trace=True,
+        use_delta=mode == "delta",
+        use_batch=mode == "batch",
+        batch_size=batch_size,
+    )
+    rng = child_rng(seed, stream)
+    result = scheduler.schedule(scenario, rng)
+    return Trajectory(
+        mode=mode,
+        utility=result.utility,
+        server=tuple(int(s) for s in result.decision.server),
+        channel=tuple(int(c) for c in result.decision.channel),
+        allocation=tuple(float(f) for f in result.allocation.ravel()),
+        accepted_moves=result.accepted_moves,
+        evaluations=result.evaluations,
+        best_trace=tuple(result.trace),
+        rng_state=rng.bit_generator.state,
+    )
+
+
 def assert_trajectories_identical(
     reference: Trajectory,
     other: Trajectory,

@@ -1,0 +1,236 @@
+"""Property-based invariants of the spatial partitioner.
+
+Hypothesis-generated topologies pin the contract of
+``repro.core.partition``:
+
+* every user belongs to exactly one cluster (and every station too);
+* the boundary relation between clusters is symmetric and every
+  neighbor pair is witnessed by an actual boundary user;
+* non-boundary users have *no* foreign-cluster station within the
+  interference radius, so the cross-cluster coupling the partition
+  neglects is below the far-field cutoff gain;
+* the partition is deterministic and invariant under relabeling of
+  users and servers: permuting the labels permutes the membership
+  arrays but never changes the geometry of the clustering.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.net.pathloss import UrbanMacroPathLoss
+from repro.net.topology import Topology
+from repro.core.partition import (
+    partition_stations,
+    partition_topology,
+)
+
+
+@st.composite
+def topologies(draw):
+    """A hexagonal deployment, placed users and partition radii."""
+    n_cells = draw(st.integers(min_value=1, max_value=12))
+    isd = draw(st.sampled_from([0.5, 1.0, 1.5]))
+    n_users = draw(st.integers(min_value=0, max_value=30))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    cluster_radius = draw(st.sampled_from([0.4, 0.8, 1.3, 2.5, 100.0]))
+    interference_radius = draw(st.sampled_from([0.3, 0.7, 1.0, 2.0]))
+    topology = Topology.hexagonal(n_cells, inter_site_distance_km=isd)
+    rng = np.random.default_rng(seed)
+    users = topology.place_users(n_users, rng)
+    return topology, users, cluster_radius, interference_radius
+
+
+@given(topologies())
+@settings(max_examples=40, deadline=None)
+def test_every_user_and_server_in_exactly_one_cluster(data):
+    topology, users, cluster_radius, interference_radius = data
+    part = partition_topology(
+        topology.bs_positions, users, cluster_radius, interference_radius
+    )
+    n_users = users.shape[0]
+    n_servers = topology.n_cells
+
+    # Membership maps are total and consistent with the cluster arrays.
+    assert part.cluster_of_user.shape == (n_users,)
+    assert part.cluster_of_server.shape == (n_servers,)
+    assert np.all(part.cluster_of_user >= 0)
+    assert np.all(part.cluster_of_user < part.n_clusters)
+    assert np.all(part.cluster_of_server >= 0)
+    assert np.all(part.cluster_of_server < part.n_clusters)
+
+    # The per-cluster index arrays partition arange(U) and arange(S):
+    # disjoint (each index appears once) and jointly exhaustive.
+    all_users = np.concatenate([c.users for c in part.clusters]) if part.clusters else np.array([], dtype=np.int64)
+    all_servers = np.concatenate([c.servers for c in part.clusters]) if part.clusters else np.array([], dtype=np.int64)
+    assert sorted(all_users.tolist()) == list(range(n_users))
+    assert sorted(all_servers.tolist()) == list(range(n_servers))
+    for cluster in part.clusters:
+        assert cluster.servers.size > 0  # a cluster exists only around stations
+        assert np.all(np.diff(cluster.users) > 0)  # sorted, unique
+        assert np.all(np.diff(cluster.servers) > 0)
+        assert np.all(part.cluster_of_user[cluster.users] == cluster.index)
+        assert np.all(part.cluster_of_server[cluster.servers] == cluster.index)
+        # Boundary users are a subset of the cluster's users.
+        assert np.all(np.isin(cluster.boundary_users, cluster.users))
+
+    # Users join the cluster of their nearest station.
+    if n_users:
+        dists = topology.distances_km(users)
+        nearest = np.argmin(dists, axis=1)
+        assert np.array_equal(part.nearest_server, nearest)
+        assert np.array_equal(
+            part.cluster_of_user, part.cluster_of_server[nearest]
+        )
+
+
+@given(topologies())
+@settings(max_examples=40, deadline=None)
+def test_boundary_relation_is_symmetric_and_witnessed(data):
+    topology, users, cluster_radius, interference_radius = data
+    part = partition_topology(
+        topology.bs_positions, users, cluster_radius, interference_radius
+    )
+    # Canonical form: a < b, no duplicates, sorted.
+    assert list(part.neighbor_pairs) == sorted(set(part.neighbor_pairs))
+    for a, b in part.neighbor_pairs:
+        assert a < b
+        # neighbors_of sees the pair from both sides.
+        assert b in part.neighbors_of(a)
+        assert a in part.neighbors_of(b)
+
+    # Re-derive the relation from scratch: cluster pair (a, b) couples
+    # iff some user of one lies within the radius of a station of the
+    # other.  The partitioner must report exactly that set.
+    expected = set()
+    if users.shape[0]:
+        dists = topology.distances_km(users)
+        for u in range(users.shape[0]):
+            cu = int(part.cluster_of_user[u])
+            for s in range(topology.n_cells):
+                cs = int(part.cluster_of_server[s])
+                if cs != cu and dists[u, s] <= interference_radius:
+                    expected.add((min(cu, cs), max(cu, cs)))
+    assert set(part.neighbor_pairs) == expected
+
+
+@given(topologies())
+@settings(max_examples=40, deadline=None)
+def test_non_boundary_users_are_below_the_farfield_cutoff(data):
+    topology, users, cluster_radius, interference_radius = data
+    part = partition_topology(
+        topology.bs_positions, users, cluster_radius, interference_radius
+    )
+    if not users.shape[0]:
+        return
+    dists = topology.distances_km(users)
+    pathloss = UrbanMacroPathLoss()
+    cutoff_gain = pathloss.gain_linear(interference_radius)
+    boundary = np.zeros(users.shape[0], dtype=bool)
+    for cluster in part.clusters:
+        boundary[cluster.boundary_users] = True
+    for u in range(users.shape[0]):
+        foreign = part.cluster_of_server != part.cluster_of_user[u]
+        if boundary[u]:
+            # A boundary user has at least one close foreign station.
+            assert np.any(foreign & (dists[u] <= interference_radius))
+        else:
+            # All foreign stations are beyond the radius, so the mean
+            # path gain toward each is below the cutoff gain — the
+            # interference the partition neglects really is far-field.
+            assert np.all(dists[u, foreign] > interference_radius)
+            if np.any(foreign):
+                assert np.all(
+                    pathloss.gain_linear(dists[u, foreign]) < cutoff_gain
+                )
+
+
+@given(topologies(), st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=30, deadline=None)
+def test_partition_deterministic_under_relabeling(data, perm_seed):
+    topology, users, cluster_radius, interference_radius = data
+    part = partition_topology(
+        topology.bs_positions, users, cluster_radius, interference_radius
+    )
+    perm_rng = np.random.default_rng(perm_seed)
+    user_perm = perm_rng.permutation(users.shape[0])
+    server_perm = perm_rng.permutation(topology.n_cells)
+    permuted = partition_topology(
+        topology.bs_positions[server_perm],
+        users[user_perm],
+        cluster_radius,
+        interference_radius,
+    )
+    # The geometry of the clustering is label-free: cluster count,
+    # tiles, neighbor pairs and the membership maps all survive the
+    # relabeling (new index i is old index perm[i]).
+    assert permuted.n_clusters == part.n_clusters
+    assert permuted.neighbor_pairs == part.neighbor_pairs
+    assert [c.tile for c in permuted.clusters] == [c.tile for c in part.clusters]
+    assert np.array_equal(
+        permuted.cluster_of_server, part.cluster_of_server[server_perm]
+    )
+    assert np.array_equal(
+        permuted.cluster_of_user, part.cluster_of_user[user_perm]
+    )
+    # Boundary flags are a per-user property, so they permute too.
+    old_boundary = np.zeros(users.shape[0], dtype=bool)
+    new_boundary = np.zeros(users.shape[0], dtype=bool)
+    for cluster in part.clusters:
+        old_boundary[cluster.users] = np.isin(cluster.users, cluster.boundary_users)
+    for cluster in permuted.clusters:
+        new_boundary[cluster.users] = np.isin(cluster.users, cluster.boundary_users)
+    assert np.array_equal(new_boundary, old_boundary[user_perm])
+
+
+@given(topologies())
+@settings(max_examples=20, deadline=None)
+def test_partition_is_replay_deterministic(data):
+    topology, users, cluster_radius, interference_radius = data
+    a = partition_topology(
+        topology.bs_positions, users, cluster_radius, interference_radius
+    )
+    b = partition_topology(
+        topology.bs_positions, users, cluster_radius, interference_radius
+    )
+    assert a.neighbor_pairs == b.neighbor_pairs
+    assert np.array_equal(a.cluster_of_user, b.cluster_of_user)
+    assert np.array_equal(a.cluster_of_server, b.cluster_of_server)
+    for ca, cb in zip(a.clusters, b.clusters):
+        assert ca.tile == cb.tile
+        assert np.array_equal(ca.users, cb.users)
+        assert np.array_equal(ca.servers, cb.servers)
+        assert np.array_equal(ca.boundary_users, cb.boundary_users)
+
+
+def test_huge_radius_yields_single_cluster_without_boundary():
+    topology = Topology.hexagonal(9)
+    rng = np.random.default_rng(7)
+    users = topology.place_users(20, rng)
+    part = partition_topology(topology.bs_positions, users, 1000.0, 1.0)
+    assert part.n_clusters == 1
+    assert part.neighbor_pairs == ()
+    assert part.clusters[0].boundary_users.size == 0
+    assert np.array_equal(part.clusters[0].users, np.arange(20))
+    assert np.array_equal(part.clusters[0].servers, np.arange(9))
+
+
+def test_partition_rejects_nonpositive_radii():
+    topology = Topology.hexagonal(4)
+    users = np.zeros((0, 2))
+    with pytest.raises(ConfigurationError):
+        partition_topology(topology.bs_positions, users, 0.0, 1.0)
+    with pytest.raises(ConfigurationError):
+        partition_topology(topology.bs_positions, users, 1.0, -1.0)
+    with pytest.raises(ConfigurationError):
+        partition_stations(topology.bs_positions, -2.0)
+
+
+def test_partition_rejects_bad_shapes():
+    with pytest.raises(ConfigurationError):
+        partition_stations(np.zeros((3, 3)), 1.0)
+    with pytest.raises(ConfigurationError):
+        partition_topology(np.zeros((3, 2)), np.zeros((4, 3)), 1.0, 1.0)

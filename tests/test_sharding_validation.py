@@ -1,0 +1,105 @@
+"""Bounds checks tying the sharding radii to path-loss validity."""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.pathloss import UrbanMacroPathLoss
+from repro.net.topology import Topology
+from repro.sim.config import SimulationConfig
+from repro.sim.validation import (
+    validate_sharding_config,
+    validate_sharding_geometry,
+)
+
+CONFIG = SimulationConfig()
+PATHLOSS = UrbanMacroPathLoss()
+
+
+def _geometry(cluster_km, interference_km, topology=None):
+    return validate_sharding_geometry(
+        cluster_km,
+        interference_km,
+        tx_power_watts=CONFIG.tx_power_watts,
+        noise_watts=CONFIG.noise_watts,
+        pathloss=PATHLOSS,
+        topology=topology,
+    )
+
+
+def test_nonpositive_radii_rejected():
+    with pytest.raises(ConfigurationError):
+        _geometry(0.0, 1.0)
+    with pytest.raises(ConfigurationError):
+        _geometry(-1.0, 1.0)
+    with pytest.raises(ConfigurationError):
+        _geometry(1.0, 0.0)
+    with pytest.raises(ConfigurationError):
+        _geometry(1.0, -0.5)
+
+
+def test_config_level_rejection():
+    # The dataclass itself refuses to construct invalid radii.
+    with pytest.raises(ConfigurationError):
+        SimulationConfig(cluster_radius_km=0.0)
+    with pytest.raises(ConfigurationError):
+        SimulationConfig(interference_radius_km=-1.0)
+    with pytest.raises(ConfigurationError):
+        SimulationConfig(max_reconcile_rounds=-1)
+
+
+def test_paper_defaults_are_clean():
+    """U=30/S=9/1 km spacing: received power at the 1 km cutoff sits
+    ~30 dB below the noise floor, so no hazard fires."""
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        messages = _geometry(2.0, 1.0)
+    assert messages == []
+
+
+def test_farfield_cutoff_warning_at_short_radius():
+    """At 0.1 km the mean received power exceeds the noise floor, so
+    the neglected interferers are *not* negligible."""
+    with pytest.warns(UserWarning, match="far-field cutoff"):
+        messages = _geometry(2.0, 0.1)
+    assert any("far-field" in m for m in messages)
+
+
+def test_cluster_smaller_than_cutoff_warning():
+    with pytest.warns(UserWarning, match="cluster diameter"):
+        messages = _geometry(0.5, 1.0)
+    assert any("cluster_radius_km" in m for m in messages)
+
+
+def test_deployment_fits_inside_radius_warning():
+    topology = Topology.hexagonal(4, inter_site_distance_km=0.5)
+    with pytest.warns(UserWarning, match="extent"):
+        messages = _geometry(2.0, 5.0, topology=topology)
+    assert any("degenerates" in m for m in messages)
+
+
+def test_config_driver_resolves_none_to_inter_site_distance():
+    """``interference_radius_km=None`` must validate against the
+    inter-site distance, matching the scheduler's solve-time default."""
+    config = SimulationConfig(cluster_radius_km=2.0, interference_radius_km=None)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        assert validate_sharding_config(config) == []
+    tight = SimulationConfig(
+        inter_site_distance_km=0.1,
+        cluster_radius_km=2.0,
+        interference_radius_km=None,
+    )
+    with pytest.warns(UserWarning, match="far-field cutoff"):
+        validate_sharding_config(tight)
+
+
+def test_config_driver_passes_topology_through():
+    config = SimulationConfig(cluster_radius_km=2.0, interference_radius_km=5.0)
+    topology = Topology.hexagonal(config.n_servers)
+    with pytest.warns(UserWarning):
+        messages = validate_sharding_config(config, topology)
+    assert any("extent" in m for m in messages)
