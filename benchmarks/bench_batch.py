@@ -32,6 +32,7 @@ tolerance so noisy CI machines do not flake)::
 from __future__ import annotations
 
 import json
+import os
 import platform
 import sys
 import time
@@ -54,7 +55,12 @@ from repro.sim.scenario import Scenario
 #: scale-invariant — the same shape the paper's sweeps use.
 SCALES: Tuple[int, ...] = (400, 1000, 2000, 4000)
 N_SERVERS = 10
-RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_batch.json"
+# BENCH_OUT_DIR redirects the result file (e.g. so CI can compare a
+# fresh run against the checked-in baseline without clobbering it).
+_OUT_DIR = os.environ.get("BENCH_OUT_DIR")
+RESULT_PATH = (
+    Path(_OUT_DIR) if _OUT_DIR else Path(__file__).resolve().parent.parent
+) / "BENCH_batch.json"
 
 
 def _shape(n_users: int) -> Tuple[int, int, int]:

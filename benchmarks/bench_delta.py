@@ -19,6 +19,7 @@ do not flake)::
 from __future__ import annotations
 
 import json
+import os
 import platform
 import sys
 import time
@@ -36,7 +37,12 @@ from repro.sim.rng import child_rng
 from repro.sim.scenario import Scenario
 
 N_USERS, N_SERVERS, N_SUBBANDS = 40, 5, 20
-RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_delta.json"
+# BENCH_OUT_DIR redirects the result file (e.g. so CI can compare a
+# fresh run against the checked-in baseline without clobbering it).
+_OUT_DIR = os.environ.get("BENCH_OUT_DIR")
+RESULT_PATH = (
+    Path(_OUT_DIR) if _OUT_DIR else Path(__file__).resolve().parent.parent
+) / "BENCH_delta.json"
 
 
 def build_chain(n_moves: int, seed: int = 3):

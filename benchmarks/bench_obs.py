@@ -32,6 +32,7 @@ flake)::
 from __future__ import annotations
 
 import json
+import os
 import platform
 import tempfile
 import time
@@ -56,7 +57,12 @@ N_USERS, N_SERVERS, N_SUBBANDS = 40, 5, 20
 #: run is ~3.6k iterations (~120 temperature levels) — large enough to
 #: time stably, small enough to repeat.
 SCHEDULE = AnnealingSchedule(chain_length=30, min_temperature=0.5)
-RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_obs.json"
+# BENCH_OUT_DIR redirects the result file (e.g. so CI can compare a
+# fresh run against the checked-in baseline without clobbering it).
+_OUT_DIR = os.environ.get("BENCH_OUT_DIR")
+RESULT_PATH = (
+    Path(_OUT_DIR) if _OUT_DIR else Path(__file__).resolve().parent.parent
+) / "BENCH_obs.json"
 
 Outcome = Tuple[float, int, int, int]
 

@@ -28,6 +28,7 @@ tolerances so noisy CI machines do not flake)::
 from __future__ import annotations
 
 import json
+import os
 import platform
 import sys
 import time
@@ -60,7 +61,12 @@ INTERFERENCE_RADIUS_KM = 1.0
 #: solution quality, so short chains keep the sweep affordable.
 SCHEDULE = AnnealingSchedule(chain_length=10, min_temperature=1e-1)
 
-RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_shard.json"
+# BENCH_OUT_DIR redirects the result file (e.g. so CI can compare a
+# fresh run against the checked-in baseline without clobbering it).
+_OUT_DIR = os.environ.get("BENCH_OUT_DIR")
+RESULT_PATH = (
+    Path(_OUT_DIR) if _OUT_DIR else Path(__file__).resolve().parent.parent
+) / "BENCH_shard.json"
 
 
 def _scenario(n_servers: int, seed: int = 1) -> Scenario:

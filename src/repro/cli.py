@@ -33,11 +33,16 @@ Sub-commands
     Run the project's static-analysis rules (determinism, unit
     discipline, paper-equation traceability); exits 1 on findings.
 ``tsajs trace record --out FILE [instance options]``
-    Solve one instance with tracing on and write the schema-v1 JSONL
+    Solve one instance with tracing on and write the schema-v2 JSONL
     span/event trace (see ``docs/observability.md``).
 ``tsajs trace show FILE [--convergence]``
     Validate and summarise a recorded trace; ``--convergence`` rebuilds
     the annealer's convergence profile from its ``anneal.level`` events.
+``tsajs obs merge|tree|critical-path|flame|export|sentinel ...``
+    Distributed-trace analysis: merge worker shards into one span tree,
+    render the tree / the critical path / folded flamegraph stacks,
+    export a metrics snapshot as OpenMetrics text, or compare fresh
+    BENCH_*.json results against the checked-in baselines.
 
 Observability flags: ``solve --trace FILE`` records the solve,
 ``run --telemetry DIR`` writes ``trace.jsonl`` + ``metrics.json`` for a
@@ -180,7 +185,8 @@ def _build_parser() -> argparse.ArgumentParser:
         "--telemetry",
         metavar="DIR",
         help=(
-            "record a schema-v1 span/event trace (trace.jsonl) and a "
+            "record a schema-v2 span/event trace (trace.jsonl, plus "
+            "per-worker trace-*.jsonl shards on parallel backends) and a "
             "metrics snapshot (metrics.json) into DIR"
         ),
     )
@@ -315,7 +321,7 @@ def _build_parser() -> argparse.ArgumentParser:
     solve_parser.add_argument(
         "--trace",
         metavar="FILE",
-        help="record a schema-v1 span/event trace of the solve to FILE",
+        help="record a schema-v2 span/event trace of the solve to FILE",
     )
     solve_parser.add_argument(
         "--trace-iterations",
@@ -374,6 +380,94 @@ def _build_parser() -> argparse.ArgumentParser:
         "--convergence",
         action="store_true",
         help="rebuild the convergence profile from anneal.level events",
+    )
+
+    obs_parser = sub.add_parser(
+        "obs", help="distributed-trace analysis and the perf sentinel"
+    )
+    obs_sub = obs_parser.add_subparsers(dest="obs_command", required=True)
+
+    obs_merge = obs_sub.add_parser(
+        "merge",
+        help="merge worker trace shards into one schema-valid trace",
+    )
+    obs_merge.add_argument(
+        "telemetry_dir", metavar="DIR", help="telemetry directory to merge"
+    )
+    obs_merge.add_argument(
+        "--out",
+        metavar="FILE",
+        help="merged trace destination (default DIR/trace_merged.jsonl)",
+    )
+
+    for name, help_text in (
+        ("tree", "render the span hierarchy with per-span self/total time"),
+        ("critical-path", "render the longest root-to-leaf span chain"),
+        ("flame", "emit folded-stack lines for flamegraph tooling"),
+    ):
+        analysis = obs_sub.add_parser(name, help=help_text)
+        analysis.add_argument(
+            "path",
+            metavar="TRACE",
+            help=(
+                "a trace .jsonl file, or a telemetry directory "
+                "(shards are merged in memory)"
+            ),
+        )
+        if name == "tree":
+            analysis.add_argument(
+                "--max-depth",
+                type=int,
+                default=None,
+                help="truncate the rendering below this depth",
+            )
+
+    obs_export = obs_sub.add_parser(
+        "export", help="export a metrics snapshot for scraping"
+    )
+    obs_export.add_argument(
+        "metrics_file", metavar="FILE", help="a metrics.json snapshot"
+    )
+    obs_export.add_argument(
+        "--format",
+        choices=["openmetrics"],
+        default="openmetrics",
+        help="output format (OpenMetrics text is the only one today)",
+    )
+    obs_export.add_argument(
+        "--out", metavar="FILE", help="write to FILE instead of stdout"
+    )
+
+    obs_sentinel = obs_sub.add_parser(
+        "sentinel",
+        help=(
+            "compare fresh BENCH_*.json results against checked-in "
+            "baselines (exit 1 on regression)"
+        ),
+    )
+    obs_sentinel.add_argument(
+        "--current",
+        metavar="DIR",
+        default=".",
+        help="directory holding the freshly produced BENCH files",
+    )
+    obs_sentinel.add_argument(
+        "--baseline",
+        metavar="DIR",
+        default=".",
+        help="directory holding the checked-in baseline BENCH files",
+    )
+    obs_sentinel.add_argument(
+        "--files",
+        metavar="NAME",
+        nargs="+",
+        default=None,
+        help="BENCH file names to compare (default: all four)",
+    )
+    obs_sentinel.add_argument(
+        "--json",
+        metavar="FILE",
+        help="also write the machine-readable verdict to FILE",
     )
 
     lint_parser = sub.add_parser(
@@ -533,7 +627,14 @@ def _cmd_run(
         from repro.obs.trace import TraceRecorder
 
         telemetry_dir = Path(telemetry)
-        recorder = TraceRecorder(telemetry_dir / "trace.jsonl")
+        # trace_id + shard_dir opt this run into distributed tracing:
+        # pool/queue workers receive a TraceContext and publish their
+        # own trace-*.jsonl shards next to the coordinator's trace.
+        recorder = TraceRecorder(
+            telemetry_dir / "trace.jsonl",
+            trace_id=f"run-{experiment_id}",
+            shard_dir=telemetry_dir,
+        )
         set_recorder(recorder)
         if profile:
             set_profiling(telemetry_dir)
@@ -553,9 +654,18 @@ def _cmd_run(
         atomic_write_json(
             telemetry_dir / "metrics.json", recorder.snapshot(), indent=2
         )
+        from repro.obs.dist import find_shards
+
+        n_shards = len(find_shards(telemetry_dir))
+        shard_note = (
+            f", {n_shards} worker shards (merge with "
+            f"'tsajs obs merge {telemetry_dir}')"
+            if n_shards
+            else ""
+        )
         print(
             f"[telemetry: {recorder.n_records} trace records and a metrics "
-            f"snapshot written to {telemetry_dir}]"
+            f"snapshot written to {telemetry_dir}{shard_note}]"
         )
         return status
     return _cmd_run_body(
@@ -942,7 +1052,9 @@ def _cmd_trace_show(args: argparse.Namespace) -> int:
     counts = Counter(
         (record["kind"], record["name"]) for record in records
     )
-    print(f"{args.file}: {len(records)} records, schema v1, all valid")
+    versions = sorted({record["v"] for record in records})
+    version_note = "/".join(f"v{v}" for v in versions) if versions else "empty"
+    print(f"{args.file}: {len(records)} records, schema {version_note}, all valid")
     print(f"spans balanced: {'yes' if span_pairs_balanced(records) else 'NO'}")
     print(f"{'kind':>10} {'name':24} {'count':>7}")
     for (kind, name), count in sorted(counts.items()):
@@ -973,6 +1085,111 @@ def _cmd_trace_show(args: argparse.Namespace) -> int:
             if finite:
                 print(ascii_sparkline(finite, width=min(len(finite), 60)))
     return 0
+
+
+def _load_trace_records(path_arg: str) -> List[Dict[str, object]]:
+    """Trace records from a .jsonl file or a telemetry directory.
+
+    Directories are merged in memory (coordinator trace + worker
+    shards), so the analysis subcommands work on a sweep's telemetry
+    directory without an explicit ``tsajs obs merge`` first.
+    """
+    from pathlib import Path
+
+    from repro.obs.dist import merge_trace_shards
+    from repro.obs.trace import read_trace
+
+    path = Path(path_arg)
+    if path.is_dir():
+        return merge_trace_shards(path)
+    return read_trace(path)
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.errors import ReproError
+
+    try:
+        if args.obs_command == "merge":
+            from repro.obs.dist import write_merged_trace
+
+            target, records = write_merged_trace(
+                args.telemetry_dir, out_path=args.out
+            )
+            shard_labels = sorted(
+                {
+                    str(record["shard"])
+                    for record in records
+                    if "shard" in record
+                }
+            )
+            print(
+                f"{target}: {len(records)} records from "
+                f"{len(shard_labels)} shard tasks, schema-valid"
+            )
+            return 0
+        if args.obs_command in ("tree", "critical-path", "flame"):
+            from repro.obs.analyze import (
+                build_span_tree,
+                critical_path,
+                folded_stacks,
+                render_critical_path,
+                render_tree,
+            )
+
+            roots = build_span_tree(_load_trace_records(args.path))
+            if args.obs_command == "tree":
+                print(render_tree(roots, max_depth=args.max_depth))
+            elif args.obs_command == "critical-path":
+                print(render_critical_path(critical_path(roots)))
+            else:
+                for line in folded_stacks(roots):
+                    print(line)
+            return 0
+        if args.obs_command == "export":
+            import json as json_module
+
+            from repro.obs.analyze import render_openmetrics
+
+            snapshot = json_module.loads(
+                Path(args.metrics_file).read_text(encoding="utf-8")
+            )
+            rendered = render_openmetrics(snapshot)
+            if args.out:
+                from repro.atomicio import atomic_write_text
+
+                atomic_write_text(Path(args.out), rendered)
+                print(f"wrote {args.out}")
+            else:
+                sys.stdout.write(rendered)
+            return 0
+        if args.obs_command == "sentinel":
+            from repro.obs.sentinel import render_report, run_sentinel
+
+            report = run_sentinel(
+                args.current,
+                args.baseline,
+                files=tuple(args.files) if args.files else None,
+            )
+            print(render_report(report))
+            if args.json:
+                from repro.atomicio import atomic_write_json
+
+                atomic_write_json(Path(args.json), report.to_payload(), indent=2)
+            return 0 if report.verdict == "pass" else 1
+        raise AssertionError(f"unhandled obs command {args.obs_command!r}")
+    except BrokenPipeError:
+        # Output piped into head/less and the reader quit: not an error.
+        # Detach stdout so the interpreter's shutdown flush stays quiet.
+        import os
+
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
+    except (OSError, ValueError, ReproError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
 
 def _cmd_episode(args: argparse.Namespace) -> int:
@@ -1108,6 +1325,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_schemes()
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "obs":
+        return _cmd_obs(args)
     if args.command == "episode":
         return _cmd_episode(args)
     if args.command == "faults":

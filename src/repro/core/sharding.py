@@ -304,11 +304,18 @@ class ShardedScheduler:
                 n_servers=cluster.n_servers,
                 n_boundary_users=int(cluster.boundary_users.size),
             ):
+                cluster_watch = Stopwatch()
                 result = inner.schedule(
                     sub_scenario,
                     make_rng(int(cluster_seeds[cluster.index])),
                     initial=sub_initial,
                 )
+                if rec.enabled:
+                    rec.observe(
+                        "shard.cluster_solve_s",
+                        cluster_watch.elapsed(),
+                        cluster=cluster.index,
+                    )
             scatter_decision(composed, cluster, result.decision)
             evaluations += result.evaluations
             accepted_moves += result.accepted_moves

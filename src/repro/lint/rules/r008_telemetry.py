@@ -18,8 +18,20 @@ clocks or write to stdout directly:
 
 The rule flags ``import time`` / ``from time import ...`` and any
 ``time.*`` or ``print`` call in the scoped packages.  ``repro/obs``
-itself is out of scope — it is the one place allowed to touch
-:mod:`time`.
+itself is out of scope for the timing checks — it is the one place
+allowed to touch :mod:`time`.
+
+A third check covers **telemetry file writes**: inside ``repro/obs``
+and ``repro/sim/executors`` — the packages that publish trace shards,
+merged traces, and queue protocol files other processes read
+concurrently — a direct ``open(..., "w")`` (or ``.write_text()`` /
+``.write_bytes()``) produces files that can be observed half-written.
+Everything these packages write must go through :mod:`repro.atomicio`
+(``atomic_write_text`` / ``atomic_write_json`` /
+:class:`~repro.atomicio.AtomicLineWriter`), which publishes via
+temp-file + rename so readers only ever see complete files.  Read-mode
+``open`` calls are untouched, and :mod:`repro.atomicio` itself is out
+of scope (it is the sanctioned implementation).
 """
 
 from __future__ import annotations
@@ -37,19 +49,34 @@ from repro.lint.rules_base import FileContext, Rule
 @register
 class TelemetryDisciplineRule(Rule):
     rule_id = "R008"
-    title = "time/print in core, sim and experiments go through repro.obs"
+    title = "time/print/file-writes in scoped packages go through repro.obs"
     rationale = (
         "Direct time.* calls bypass the injectable clock seam (so tests "
-        "cannot make timing deterministic) and print() bypasses the "
-        "recorder (so traces and machine-readable output miss it); use "
-        "repro.obs.clock.Stopwatch / sleep and recorder events instead."
+        "cannot make timing deterministic), print() bypasses the "
+        "recorder (so traces and machine-readable output miss it), and "
+        "direct open()-for-write in the telemetry/executor packages "
+        "publishes files other processes can observe half-written; use "
+        "repro.obs.clock.Stopwatch / sleep, recorder events, and "
+        "repro.atomicio writers instead."
     )
 
     def check_file(self, ctx: FileContext) -> Iterator[Diagnostic]:
-        if not ctx.in_subpackage("core", "sim", "experiments"):
-            return
-        yield from self._check_imports(ctx)
-        yield from self._check_calls(ctx)
+        if ctx.in_subpackage("core", "sim", "experiments"):
+            yield from self._check_imports(ctx)
+            yield from self._check_calls(ctx)
+        if self._in_write_scope(ctx):
+            yield from self._check_writes(ctx)
+
+    @staticmethod
+    def _in_write_scope(ctx: FileContext) -> bool:
+        """Packages whose on-disk output other processes read concurrently."""
+        if ctx.in_subpackage("obs"):
+            return True
+        return len(ctx.module) >= 4 and ctx.module[:3] == (
+            "repro",
+            "sim",
+            "executors",
+        )
 
     def _check_imports(self, ctx: FileContext) -> Iterator[Diagnostic]:
         for node in ast.walk(ctx.tree):
@@ -94,3 +121,50 @@ class TelemetryDisciplineRule(Rule):
                     "recorder; emit a recorder event or return the data "
                     "(printing belongs to the CLI layer)",
                 )
+
+    def _check_writes(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        for call in self._walk_calls(ctx.tree):
+            name = dotted_name(call.func)
+            if name == ("open",) and self._open_mode_writes(call):
+                yield ctx.diagnostic(
+                    self.rule_id,
+                    call,
+                    "open() for writing in a telemetry/executor package "
+                    "can be observed half-written by concurrent readers; "
+                    "publish atomically via repro.atomicio "
+                    "(atomic_write_* or AtomicLineWriter)",
+                )
+            elif (
+                isinstance(call.func, ast.Attribute)
+                and call.func.attr in ("write_text", "write_bytes")
+            ):
+                yield ctx.diagnostic(
+                    self.rule_id,
+                    call,
+                    f".{call.func.attr}() in a telemetry/executor package "
+                    "can be observed half-written by concurrent readers; "
+                    "publish atomically via repro.atomicio "
+                    "(atomic_write_* or AtomicLineWriter)",
+                )
+
+    @staticmethod
+    def _open_mode_writes(call: ast.Call) -> bool:
+        """Whether an ``open()`` call's mode argument is a write mode.
+
+        Only literal modes are judged (a computed mode cannot be checked
+        statically); a missing mode is read-only by default.
+        """
+        mode_node: object = None
+        if len(call.args) >= 2:
+            mode_node = call.args[1]
+        else:
+            for keyword in call.keywords:
+                if keyword.arg == "mode":
+                    mode_node = keyword.value
+                    break
+        if not isinstance(mode_node, ast.Constant):
+            return False
+        mode = mode_node.value
+        if not isinstance(mode, str):
+            return False
+        return any(flag in mode for flag in ("w", "a", "x", "+"))

@@ -12,9 +12,14 @@ Three cooperating pieces (see ``docs/observability.md``):
   call site uses (lint rule R008 bans direct ``time.*`` elsewhere);
 * :mod:`repro.obs.recorder` / :mod:`repro.obs.trace` — the
   :class:`Recorder` interface, the zero-overhead :class:`NullRecorder`
-  default, and the JSONL schema-v1 :class:`TraceRecorder`;
+  default, and the JSONL schema-v2 :class:`TraceRecorder`;
 * :mod:`repro.obs.metrics` / :mod:`repro.obs.profile` — per-series
-  counters/gauges/histograms and opt-in cProfile hotspot capture.
+  counters/gauges/histograms and opt-in cProfile hotspot capture;
+* :mod:`repro.obs.dist` / :mod:`repro.obs.analyze` /
+  :mod:`repro.obs.sentinel` — distributed trace-context propagation and
+  shard merging, span-tree / critical-path / flamegraph / OpenMetrics
+  analysis, and the BENCH-baseline perf-regression sentinel (the
+  ``tsajs obs`` subcommands).
 
 The cardinal rule: **instrumentation never influences results.**  The
 null path is held bitwise-identical to an uninstrumented build by test
@@ -22,6 +27,15 @@ and to <3 % overhead by ``benchmarks/bench_obs.py``; recorders never
 touch any RNG stream; trace payloads carry monotonic deltas only.
 """
 
+from repro.obs.analyze import (
+    SpanNode,
+    build_span_tree,
+    critical_path,
+    folded_stacks,
+    render_critical_path,
+    render_openmetrics,
+    render_tree,
+)
 from repro.obs.clock import (
     Clock,
     MonotonicClock,
@@ -31,6 +45,14 @@ from repro.obs.clock import (
     monotonic,
     set_default_clock,
     sleep,
+)
+from repro.obs.dist import (
+    TraceContext,
+    find_shards,
+    merge_trace_shards,
+    propagated_context,
+    worker_trace,
+    write_merged_trace,
 )
 from repro.obs.metrics import HistogramStats, MetricsRegistry, metric_key
 from repro.obs.profile import (
@@ -51,13 +73,26 @@ from repro.obs.recorder import (
 )
 from repro.obs.schema import (
     SCHEMA_VERSION,
+    SUPPORTED_VERSIONS,
     TraceSchemaError,
     iter_trace_lines,
     span_pairs_balanced,
     validate_record,
     validate_trace,
 )
-from repro.obs.trace import Span, TraceRecorder, events_named, read_trace
+from repro.obs.sentinel import (
+    DEFAULT_BENCH_FILES,
+    SentinelReport,
+    render_report,
+    run_sentinel,
+)
+from repro.obs.trace import (
+    Span,
+    TraceRecorder,
+    emit_worker_detached,
+    events_named,
+    read_trace,
+)
 
 __all__ = [
     "Clock",
@@ -84,6 +119,7 @@ __all__ = [
     "set_recorder",
     "use_recorder",
     "SCHEMA_VERSION",
+    "SUPPORTED_VERSIONS",
     "TraceSchemaError",
     "validate_record",
     "validate_trace",
@@ -93,4 +129,22 @@ __all__ = [
     "Span",
     "read_trace",
     "events_named",
+    "emit_worker_detached",
+    "TraceContext",
+    "propagated_context",
+    "worker_trace",
+    "find_shards",
+    "merge_trace_shards",
+    "write_merged_trace",
+    "SpanNode",
+    "build_span_tree",
+    "render_tree",
+    "critical_path",
+    "render_critical_path",
+    "folded_stacks",
+    "render_openmetrics",
+    "SentinelReport",
+    "run_sentinel",
+    "render_report",
+    "DEFAULT_BENCH_FILES",
 ]

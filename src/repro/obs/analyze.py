@@ -1,0 +1,270 @@
+"""Trace and metrics analysis behind the ``tsajs obs`` subcommands.
+
+Consumes schema-v2 records (one file, or a telemetry directory merged by
+:func:`repro.obs.dist.merge_trace_shards`) and renders:
+
+* :func:`build_span_tree` / :func:`render_tree` — the reconstructed span
+  hierarchy with per-span **total** (the span's own ``dur``) and
+  **self** time (total minus the sum of direct children; clamped at 0,
+  since children that ran in parallel workers can legitimately sum past
+  their coordinator-side parent);
+* :func:`critical_path` — the longest chain through the tree: from the
+  heaviest root, repeatedly descend into the heaviest child.  On a
+  sweep trace this names the seed/cluster/worker that gated wall clock;
+* :func:`folded_stacks` — ``parent;child;leaf <self-µs>`` lines in the
+  folded-stack format standard flamegraph tooling consumes
+  (``flamegraph.pl``, speedscope, inferno);
+* :func:`render_openmetrics` — an ``ExperimentResult.telemetry`` /
+  ``metrics.json`` snapshot in OpenMetrics text format (counters,
+  gauges, and histogram summaries) for service scraping.
+
+Everything here is a pure function of its input records — analysis
+never re-runs experiments, and deterministic inputs render to
+byte-identical reports.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.units import seconds_to_micros
+
+#: Attrs worth echoing inline in tree/path listings (identity, not bulk).
+_KEY_ATTRS = ("task", "seed", "scheme", "cluster", "round")
+
+
+@dataclass
+class SpanNode:
+    """One reconstructed span with its children and timing."""
+
+    span_id: int
+    name: str
+    start_t: float
+    attrs: Dict[str, Any]
+    shard: Optional[str] = None
+    parent_id: Optional[int] = None
+    dur: Optional[float] = None
+    children: List["SpanNode"] = field(default_factory=list)
+
+    @property
+    def total_s(self) -> float:
+        """The span's own duration (0 for spans missing their end)."""
+        return self.dur if self.dur is not None else 0.0
+
+    @property
+    def self_s(self) -> float:
+        """Duration not covered by direct children (clamped at 0)."""
+        covered = sum(child.total_s for child in self.children)
+        return max(0.0, self.total_s - covered)
+
+    def label(self) -> str:
+        """``name`` plus identifying attrs and shard provenance."""
+        parts = [self.name]
+        for key in _KEY_ATTRS:
+            if key in self.attrs:
+                parts.append(f"{key}={self.attrs[key]}")
+        if self.shard is not None:
+            parts.append(f"[shard {self.shard}]")
+        return " ".join(parts)
+
+
+def build_span_tree(records: List[Dict[str, Any]]) -> List[SpanNode]:
+    """Reconstruct the span hierarchy from decoded trace records.
+
+    Children are linked through the schema-v2 ``parent`` field; spans
+    with no (or an unknown) parent become roots.  Record order is
+    preserved among siblings, so deterministic traces yield
+    deterministic trees.
+    """
+    nodes: Dict[int, SpanNode] = {}
+    roots: List[SpanNode] = []
+    for record in records:
+        kind = record.get("kind")
+        if kind == "span_start":
+            node = SpanNode(
+                span_id=int(record["id"]),
+                name=str(record["name"]),
+                start_t=float(record["t"]),
+                attrs=dict(record.get("attrs", {})),
+                shard=record.get("shard"),
+                parent_id=record.get("parent"),
+            )
+            nodes[node.span_id] = node
+        elif kind == "span_end":
+            node = nodes.get(int(record["id"]))
+            if node is not None:
+                node.dur = float(record.get("dur", 0.0))
+    for node in nodes.values():
+        parent = (
+            nodes.get(node.parent_id) if node.parent_id is not None else None
+        )
+        if parent is not None and parent is not node:
+            parent.children.append(node)
+        else:
+            roots.append(node)
+    return roots
+
+
+def render_tree(
+    roots: List[SpanNode], max_depth: Optional[int] = None
+) -> str:
+    """Indented span hierarchy with per-span total/self time."""
+    lines: List[str] = []
+
+    def visit(node: SpanNode, depth: int) -> None:
+        indent = "  " * depth
+        lines.append(
+            f"{indent}{node.label()}  "
+            f"total={node.total_s:.6f}s self={node.self_s:.6f}s"
+        )
+        if max_depth is not None and depth + 1 >= max_depth:
+            return
+        for child in node.children:
+            visit(child, depth + 1)
+
+    for root in roots:
+        visit(root, 0)
+    return "\n".join(lines)
+
+
+def critical_path(roots: List[SpanNode]) -> List[SpanNode]:
+    """The heaviest root-to-leaf chain (what gated the wall clock)."""
+    if not roots:
+        return []
+    path: List[SpanNode] = []
+    node = max(roots, key=lambda n: (n.total_s, -n.start_t))
+    while True:
+        path.append(node)
+        if not node.children:
+            return path
+        node = max(node.children, key=lambda n: (n.total_s, -n.start_t))
+
+
+def render_critical_path(path: List[SpanNode]) -> str:
+    """One line per hop: duration, share of the root, and the span label."""
+    if not path:
+        return "(no spans)"
+    root_total = path[0].total_s
+    lines = []
+    for node in path:
+        share = (node.total_s / root_total * 100.0) if root_total > 0 else 0.0
+        lines.append(f"{node.total_s:12.6f}s {share:6.1f}%  {node.label()}")
+    return "\n".join(lines)
+
+
+def folded_stacks(roots: List[SpanNode]) -> List[str]:
+    """Folded-stack lines (``a;b;c <self-µs>``) for flamegraph tooling.
+
+    Self time is attributed to each stack in integer microseconds;
+    stacks whose self time rounds to zero are dropped.  Lines are
+    sorted, matching the conventional ``flamegraph.pl`` input shape and
+    making the output deterministic.
+    """
+    totals: Dict[str, int] = {}
+
+    def frame(node: SpanNode) -> str:
+        # Semicolons separate stack frames in the folded format.
+        return node.label().replace(";", ",")
+
+    def visit(node: SpanNode, prefix: str) -> None:
+        stack = f"{prefix};{frame(node)}" if prefix else frame(node)
+        micros = int(round(seconds_to_micros(node.self_s)))
+        if micros > 0:
+            totals[stack] = totals.get(stack, 0) + micros
+        for child in node.children:
+            visit(child, stack)
+
+    for root in roots:
+        visit(root, "")
+    return [f"{stack} {value}" for stack, value in sorted(totals.items())]
+
+
+# --- OpenMetrics export ----------------------------------------------------
+
+_NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+
+
+def _metric_name(name: str) -> str:
+    """A series name made OpenMetrics-legal (dots and dashes to ``_``)."""
+    cleaned = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    if not _NAME_OK.match(cleaned):
+        cleaned = f"_{cleaned}"
+    return cleaned
+
+
+def _split_series_key(key: str) -> Tuple[str, Dict[str, str]]:
+    """Parse ``name{k=v,...}`` (the :func:`repro.obs.metrics.metric_key`
+    rendering) back into name + labels."""
+    if "{" not in key:
+        return key, {}
+    name, _, rest = key.partition("{")
+    body = rest.rstrip("}")
+    labels: Dict[str, str] = {}
+    for pair in body.split(","):
+        label, sep, value = pair.partition("=")
+        if sep:
+            labels[label] = value
+    return name, labels
+
+
+def _render_labels(labels: Mapping[str, str]) -> str:
+    if not labels:
+        return ""
+    escaped = ",".join(
+        f'{_metric_name(key)}="' +
+        value.replace("\\", "\\\\").replace('"', '\\"') +
+        '"'
+        for key, value in sorted(labels.items())
+    )
+    return "{" + escaped + "}"
+
+
+def render_openmetrics(snapshot: Mapping[str, Any]) -> str:
+    """A metrics snapshot in OpenMetrics text format.
+
+    ``snapshot`` is the :meth:`repro.obs.metrics.MetricsRegistry.snapshot`
+    shape (``counters`` / ``gauges`` / ``histograms``); the same document
+    lands in ``ExperimentResult.telemetry`` and ``metrics.json``.
+    Counters become ``<name>_total``, gauges pass through, histogram
+    summaries export ``_count`` / ``_sum`` plus ``_min`` / ``_max``
+    gauges.  Output is deterministic for a deterministic snapshot.
+    """
+    for section in ("counters", "gauges", "histograms"):
+        if section in snapshot and not isinstance(snapshot[section], Mapping):
+            raise ConfigurationError(
+                f"metrics snapshot section {section!r} must be an object"
+            )
+    lines: List[str] = []
+
+    def families(section: str) -> Dict[str, List[Tuple[Dict[str, str], Any]]]:
+        grouped: Dict[str, List[Tuple[Dict[str, str], Any]]] = {}
+        for key, value in snapshot.get(section, {}).items():
+            name, labels = _split_series_key(key)
+            grouped.setdefault(_metric_name(name), []).append((labels, value))
+        return grouped
+
+    for name, series in sorted(families("counters").items()):
+        lines.append(f"# TYPE {name} counter")
+        for labels, value in series:
+            lines.append(f"{name}_total{_render_labels(labels)} {value}")
+    for name, series in sorted(families("gauges").items()):
+        lines.append(f"# TYPE {name} gauge")
+        for labels, value in series:
+            lines.append(f"{name}{_render_labels(labels)} {value}")
+    for name, series in sorted(families("histograms").items()):
+        lines.append(f"# TYPE {name} summary")
+        for labels, stats in series:
+            rendered = _render_labels(labels)
+            lines.append(f"{name}_count{rendered} {stats['count']}")
+            lines.append(f"{name}_sum{rendered} {stats['total']}")
+        lines.append(f"# TYPE {name}_min gauge")
+        for labels, stats in series:
+            lines.append(f"{name}_min{_render_labels(labels)} {stats['min']}")
+        lines.append(f"# TYPE {name}_max gauge")
+        for labels, stats in series:
+            lines.append(f"{name}_max{_render_labels(labels)} {stats['max']}")
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"

@@ -135,9 +135,11 @@ def run_one_seed(
     profiling off, this is exactly :func:`seed_work` — no spans, no
     metric touches, no profiler, so untraced runs stay on the legacy hot
     path.  A forked pool or queue worker inherits the null recorder
-    (recorders are process-level state, never pickled with schedulers),
-    so distributed runs record seed telemetry only in the parent-side
-    merge.
+    (recorders are process-level state, never pickled with schedulers):
+    worker-side telemetry requires the coordinator to ship a
+    :class:`~repro.obs.dist.TraceContext` (see :func:`run_one_seed_remote`),
+    otherwise distributed runs record seed telemetry only parent-side
+    and announce the loss with a ``worker_detached`` event.
     """
     rec = get_recorder()
     if not rec.enabled and not profiling_enabled():
@@ -160,6 +162,38 @@ def run_one_seed(
             seed=seed,
         )
     return metrics
+
+
+def run_one_seed_remote(
+    trace_payload: Optional[Dict[str, Any]],
+    config: SimulationConfig,
+    schedulers: Sequence[Scheduler],
+    seed: int,
+) -> List[SolutionMetrics]:
+    """:func:`run_one_seed` inside a propagated trace context, if any.
+
+    The pool executor submits this wrapper instead of :func:`run_one_seed`
+    directly; ``trace_payload`` is the serialized
+    :class:`~repro.obs.dist.TraceContext` (or ``None`` for the untraced
+    fast path, which adds nothing but one ``is None`` check).  With a
+    context, the worker opens its own shard recorder for the duration of
+    the seed so annealer spans land in ``trace-<pid>-s<seed>.jsonl``
+    under the coordinator's wave span.  Telemetry must never perturb
+    results: the seed's work is identical either way, and a malformed
+    payload degrades to the untraced path instead of failing the cell.
+    """
+    if trace_payload is None:
+        return run_one_seed(config, schedulers, seed)
+    from repro.obs.dist import TraceContext, worker_trace
+    from repro.obs.recorder import use_recorder
+
+    try:
+        ctx = TraceContext.from_payload(trace_payload)
+    except ConfigurationError:
+        return run_one_seed(config, schedulers, seed)
+    with worker_trace(ctx, task=f"s{seed}") as recorder:
+        with use_recorder(recorder):
+            return run_one_seed(config, schedulers, seed)
 
 
 def metrics_to_payload(metrics: Sequence[SolutionMetrics]) -> List[Dict[str, Any]]:

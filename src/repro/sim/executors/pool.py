@@ -8,6 +8,13 @@ abandoned (``shutdown(wait=False)``) and the runner retries the failed
 cells in a fresh pool or serially.  Both failure shapes are ``fatal`` —
 they killed or lost the worker rather than raising from the cell's own
 work — so the runner's poison-cell quarantine counts them.
+
+When telemetry is on, each wave opens a ``pool.wave`` span and ships the
+coordinator's :class:`~repro.obs.dist.TraceContext` inside the task
+payload, so every worker records its seed's spans into its own shard
+(``trace-<pid>-s<seed>.jsonl``) under the wave span; without a
+propagable context the wave emits ``worker_detached`` instead of
+silently losing worker telemetry.
 """
 
 from __future__ import annotations
@@ -16,13 +23,16 @@ from typing import Optional, Sequence
 
 from repro.core.scheduler import Scheduler
 from repro.errors import ConfigurationError
+from repro.obs.dist import propagated_context
+from repro.obs.recorder import get_recorder
+from repro.obs.trace import emit_worker_detached
 from repro.sim.config import SimulationConfig
 from repro.sim.executors.base import (
     Cell,
     CellFailure,
     CellResult,
     WaveOutcome,
-    run_one_seed,
+    run_one_seed_remote,
 )
 
 
@@ -48,59 +58,70 @@ class ProcessPoolSweepExecutor:
         from concurrent.futures.process import BrokenProcessPool
 
         outcome = WaveOutcome()
-        pool = ProcessPoolExecutor(max_workers=min(self.n_jobs, len(cells)))
-        try:
-            futures = [
-                (
-                    position,
-                    seed,
-                    pool.submit(run_one_seed, config, schedulers, seed),
-                )
-                for position, seed in cells
-            ]
-            for position, seed, future in futures:
-                try:
-                    metrics = future.result(timeout=timeout_s)
-                except FuturesTimeoutError:
-                    outcome.broken = True
-                    outcome.failed.append(
-                        CellFailure(
-                            position=position,
-                            seed=seed,
-                            error=(
-                                f"seed {seed} exceeded the {timeout_s}s budget"
-                            ),
-                            fatal=True,
+        rec = get_recorder()
+        with rec.span("pool.wave", n_cells=len(cells), n_jobs=self.n_jobs):
+            # Derived inside the wave span so worker shards nest under it.
+            ctx = propagated_context()
+            if rec.enabled and ctx is None:
+                emit_worker_detached("pool", len(cells))
+            payload = ctx.to_payload() if ctx is not None else None
+            pool = ProcessPoolExecutor(max_workers=min(self.n_jobs, len(cells)))
+            try:
+                futures = [
+                    (
+                        position,
+                        seed,
+                        pool.submit(
+                            run_one_seed_remote, payload, config, schedulers, seed
+                        ),
+                    )
+                    for position, seed in cells
+                ]
+                for position, seed, future in futures:
+                    try:
+                        metrics = future.result(timeout=timeout_s)
+                    except FuturesTimeoutError:
+                        outcome.broken = True
+                        outcome.failed.append(
+                            CellFailure(
+                                position=position,
+                                seed=seed,
+                                error=(
+                                    f"seed {seed} exceeded the {timeout_s}s budget"
+                                ),
+                                fatal=True,
+                            )
                         )
-                    )
-                except BrokenProcessPool:
-                    outcome.broken = True
-                    outcome.failed.append(
-                        CellFailure(
-                            position=position,
-                            seed=seed,
-                            error=(
-                                f"worker process died while running seed {seed}"
-                            ),
-                            fatal=True,
+                    except BrokenProcessPool:
+                        outcome.broken = True
+                        outcome.failed.append(
+                            CellFailure(
+                                position=position,
+                                seed=seed,
+                                error=(
+                                    f"worker process died while running seed {seed}"
+                                ),
+                                fatal=True,
+                            )
                         )
-                    )
-                except Exception as exc:
-                    outcome.failed.append(
-                        CellFailure(
-                            position=position,
-                            seed=seed,
-                            error=f"{type(exc).__name__}: {exc}",
+                    except Exception as exc:
+                        outcome.failed.append(
+                            CellFailure(
+                                position=position,
+                                seed=seed,
+                                error=f"{type(exc).__name__}: {exc}",
+                            )
                         )
-                    )
-                else:
-                    outcome.done.append(
-                        CellResult(position=position, seed=seed, metrics=metrics)
-                    )
-        finally:
-            # A broken pool (dead or hung worker) cannot be drained;
-            # waiting on shutdown would block forever on the hung worker.
-            pool.shutdown(wait=not outcome.broken, cancel_futures=True)
+                    else:
+                        outcome.done.append(
+                            CellResult(
+                                position=position, seed=seed, metrics=metrics
+                            )
+                        )
+            finally:
+                # A broken pool (dead or hung worker) cannot be drained;
+                # waiting on shutdown would block forever on the hung worker.
+                pool.shutdown(wait=not outcome.broken, cancel_futures=True)
         return outcome
 
     def close(self) -> None:

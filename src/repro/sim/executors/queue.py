@@ -29,6 +29,14 @@ monotonic clock, so skewed wall clocks cannot expire a healthy lease.
 Every cell is fully self-seeding, so which worker computes it never
 changes the result — re-running a wave, double-claiming after an expiry
 race, or mixing machines all converge to byte-identical sweeps.
+
+With telemetry on, each wave opens a ``queue.wave`` span, embeds the
+coordinator's :class:`~repro.obs.dist.TraceContext` in every task file
+(workers then publish per-task trace shards into the shared telemetry
+directory), records ``queue.lease_wait_s`` / ``queue.result_wait_s``
+latency histograms per cell, and emits ``worker_detached`` when no
+context can be propagated.  Task files written without telemetry are
+byte-identical to the legacy format.
 """
 
 from __future__ import annotations
@@ -45,7 +53,9 @@ from repro.atomicio import atomic_write_bytes, atomic_write_json, sha256_hex
 from repro.core.scheduler import Scheduler
 from repro.errors import ConfigurationError
 from repro.obs.clock import monotonic, sleep
+from repro.obs.dist import propagated_context
 from repro.obs.recorder import get_recorder
+from repro.obs.trace import emit_worker_detached
 from repro.sim.config import SimulationConfig
 from repro.sim.executors.base import (
     Cell,
@@ -194,7 +204,12 @@ class WorkQueueExecutor:
         timeout_s: Optional[float],
     ) -> WaveOutcome:
         try:
-            return self._run_wave(config, schedulers, cells, timeout_s)
+            with get_recorder().span(
+                "queue.wave",
+                n_cells=len(cells),
+                n_local_workers=self.n_local_workers,
+            ):
+                return self._run_wave(config, schedulers, cells, timeout_s)
         except OSError as exc:
             # The queue directory itself failed (unmounted share, ENOSPC,
             # permissions): report the machinery broken so the runner can
@@ -224,21 +239,33 @@ class WorkQueueExecutor:
         spec_name = self._write_spec(config, schedulers)
         outcome = WaveOutcome()
 
+        # Distributed tracing: ship the coordinator's context inside the
+        # task files so each (possibly remote) worker records its own
+        # shard.  Untraced task files carry no "trace" key at all, so
+        # the on-disk protocol is unchanged when telemetry is off.
+        ctx = propagated_context()
+        if rec.enabled and ctx is None:
+            emit_worker_detached("queue", len(cells))
+        trace_payload = ctx.to_payload() if ctx is not None else None
+
         pending: Dict[str, Cell] = {}
+        enqueued_at: Dict[str, float] = {}
+        lease_observed: set = set()
         for position, seed in cells:
             name = task_name(spec_name, seed)
             resolved = self._try_resolve_result(name, position, seed, outcome)
             if resolved:
                 continue
-            atomic_write_json(
-                self._dir("tasks") / f"{name}.json",
-                {
-                    "format_version": QUEUE_FORMAT_VERSION,
-                    "spec": spec_name,
-                    "seed": seed,
-                },
-            )
+            task_doc: Dict[str, object] = {
+                "format_version": QUEUE_FORMAT_VERSION,
+                "spec": spec_name,
+                "seed": seed,
+            }
+            if trace_payload is not None:
+                task_doc["trace"] = trace_payload
+            atomic_write_json(self._dir("tasks") / f"{name}.json", task_doc)
             pending[name] = (position, seed)
+            enqueued_at[name] = monotonic()
 
         for _ in range(min(self.n_local_workers, max(len(pending), 0))):
             self._spawn_worker()
@@ -251,6 +278,12 @@ class WorkQueueExecutor:
             for name in sorted(pending):
                 position, seed = pending[name]
                 if self._try_resolve_result(name, position, seed, outcome):
+                    if rec.enabled and name in enqueued_at:
+                        # Enqueue-to-result latency (includes lease wait).
+                        rec.observe(
+                            "queue.result_wait_s",
+                            monotonic() - enqueued_at[name],
+                        )
                     del pending[name]
                     progressed = True
                     continue
@@ -282,6 +315,18 @@ class WorkQueueExecutor:
                     del pending[name]
                     progressed = True
                 elif state == "leased":
+                    if (
+                        rec.enabled
+                        and name not in lease_observed
+                        and name in enqueued_at
+                    ):
+                        # Enqueue-to-first-observed-lease latency: how
+                        # long the task sat unclaimed (poll-granular).
+                        lease_observed.add(name)
+                        rec.observe(
+                            "queue.lease_wait_s",
+                            monotonic() - enqueued_at[name],
+                        )
                     progressed = True
 
             if progressed:

@@ -8,6 +8,10 @@ reports itself broken, the runner swaps in a :class:`SerialExecutor`,
 which has no machinery left to break (a cell that kills its *host*
 process is precisely what the quarantine mechanism exists to stop before
 this point — see ``docs/robustness.md``).
+
+Serial waves need no trace propagation (:mod:`repro.obs.dist`): cells
+run in the coordinator's own process, so seed spans land directly in
+the parent trace and nothing can detach.
 """
 
 from __future__ import annotations

@@ -13,8 +13,10 @@ queue directory.  The loop is deliberately boring:
    every ``heartbeat_s`` with a strictly increasing beat counter;
 4. unpickle the referenced sweep spec (cached per spec name), run the
    cell via the same :func:`~repro.sim.executors.base.run_one_seed`
-   every other backend uses, and atomically write a checksummed result
-   (or an error record if the cell's work raised);
+   every other backend uses — inside a propagated
+   :class:`~repro.obs.dist.TraceContext` (publishing a per-task trace
+   shard) when the task file carries one — and atomically write a
+   checksummed result (or an error record if the cell's work raised);
 5. release the lease and heartbeat files.
 
 If the worker dies at *any* point, the lease simply stops heartbeating
@@ -35,6 +37,8 @@ from repro.atomicio import atomic_write_json
 from repro.core.scheduler import Scheduler
 from repro.errors import ConfigurationError
 from repro.obs.clock import sleep
+from repro.obs.dist import TraceContext, worker_trace
+from repro.obs.recorder import use_recorder
 from repro.sim.config import SimulationConfig
 from repro.sim.executors.base import metrics_to_payload, run_one_seed
 from repro.sim.executors.files import (
@@ -43,6 +47,7 @@ from repro.sim.executors.files import (
     read_json,
     result_payload,
 )
+from repro.sim.metrics import SolutionMetrics
 
 _Spec = Tuple[SimulationConfig, List[Scheduler]]
 
@@ -165,7 +170,7 @@ class QueueWorker:
                 seed = int(task["seed"])
                 if self.crash_hook is not None:
                     self.crash_hook(name)
-                metrics = run_one_seed(config, schedulers, seed)
+                metrics = self._run_task(task, name, config, schedulers, seed)
             except ConfigurationError as exc:
                 # The task file itself is bad — quarantine it so the
                 # queue does not loop on it, and record why.
@@ -198,6 +203,36 @@ class QueueWorker:
                     os.unlink(lease)
                 except OSError:
                     pass
+
+    def _run_task(
+        self,
+        task: Dict[str, Any],
+        name: str,
+        config: SimulationConfig,
+        schedulers: Sequence[Scheduler],
+        seed: int,
+    ) -> List[SolutionMetrics]:
+        """Run the cell, inside a propagated trace context when present.
+
+        Task files written by a telemetry-enabled coordinator carry a
+        ``trace`` key (the serialized
+        :class:`~repro.obs.dist.TraceContext`); this worker then records
+        the cell's spans into its own shard in the shared telemetry
+        directory.  A missing or malformed key runs the cell untraced —
+        telemetry never fails or perturbs the work.
+        """
+        payload = task.get("trace")
+        ctx: Optional[TraceContext] = None
+        if payload is not None:
+            try:
+                ctx = TraceContext.from_payload(payload)
+            except ConfigurationError:
+                ctx = None
+        if ctx is None:
+            return run_one_seed(config, schedulers, seed)
+        with worker_trace(ctx, task=name) as recorder:
+            with use_recorder(recorder):
+                return run_one_seed(config, schedulers, seed)
 
     def drain(self, max_tasks: Optional[int] = None) -> int:
         """Process tasks until ``tasks/`` is empty; return the count done."""

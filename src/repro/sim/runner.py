@@ -43,10 +43,13 @@ from typing import Any, Dict, List, Optional, Protocol, Sequence
 from repro.core.scheduler import Scheduler
 from repro.errors import ConfigurationError, SolverError
 from repro.obs.clock import sleep
+from repro.obs.dist import propagated_context
 from repro.obs.recorder import get_recorder
+from repro.obs.trace import emit_worker_detached
 from repro.sim.config import SimulationConfig
 from repro.sim.executors.base import Cell, SweepExecutor
 from repro.sim.executors.base import run_one_seed as _run_one_seed
+from repro.sim.executors.base import run_one_seed_remote as _run_one_seed_remote
 from repro.sim.executors.base import seed_work as _seed_work
 from repro.sim.executors.pool import ProcessPoolSweepExecutor
 from repro.sim.executors.serial import SerialExecutor
@@ -495,12 +498,20 @@ def run_schemes(
             else:
                 from concurrent.futures import ProcessPoolExecutor
 
+                # Same trace propagation as the pool executor backend:
+                # without a context, worker telemetry is lost to fork
+                # safety, which schema v2 surfaces as worker_detached.
+                ctx = propagated_context()
+                if rec.enabled and ctx is None:
+                    emit_worker_detached("pool", len(seeds))
+                payload = ctx.to_payload() if ctx is not None else None
                 with ProcessPoolExecutor(
                     max_workers=min(n_jobs, len(seeds))
                 ) as pool:
                     per_seed = list(
                         pool.map(
-                            _run_one_seed,
+                            _run_one_seed_remote,
+                            [payload] * len(seeds),
                             [config] * len(seeds),
                             [schedulers] * len(seeds),
                             seeds,

@@ -624,6 +624,68 @@ class TestR008TelemetryDiscipline:
         })
         assert _lint(tmp_path, "R008") == []
 
+    def test_flags_open_write_in_obs(self, tmp_path):
+        _write_tree(tmp_path, {
+            "repro/obs/x.py": (
+                "def publish(path, line):\n"
+                "    with open(path, 'w') as handle:\n"
+                "        handle.write(line)\n"
+            ),
+        })
+        diags = _lint(tmp_path, "R008")
+        assert len(diags) == 1
+        assert "repro.atomicio" in diags[0].message
+
+    def test_flags_open_write_mode_keyword_in_executors(self, tmp_path):
+        _write_tree(tmp_path, {
+            "repro/sim/executors/x.py": (
+                "def publish(path):\n"
+                "    open(path, mode='a').close()\n"
+            ),
+        })
+        assert len(_lint(tmp_path, "R008")) == 1
+
+    def test_flags_write_text_in_executors(self, tmp_path):
+        _write_tree(tmp_path, {
+            "repro/sim/executors/x.py": (
+                "def publish(path, body):\n"
+                "    path.write_text(body)\n"
+            ),
+        })
+        diags = _lint(tmp_path, "R008")
+        assert len(diags) == 1
+        assert "write_text" in diags[0].message
+
+    def test_open_read_mode_is_fine(self, tmp_path):
+        _write_tree(tmp_path, {
+            "repro/obs/x.py": (
+                "def load(path):\n"
+                "    with open(path, 'r') as handle:\n"
+                "        return handle.read()\n"
+                "def load_default_mode(path):\n"
+                "    with open(path) as handle:\n"
+                "        return handle.read()\n"
+            ),
+        })
+        assert _lint(tmp_path, "R008") == []
+
+    def test_open_write_outside_write_scope_is_fine(self, tmp_path):
+        # The write check covers only repro/obs and repro/sim/executors;
+        # other packages (e.g. experiments persistence, which streams
+        # journal lines incrementally on purpose) keep direct writes.
+        _write_tree(tmp_path, {
+            "repro/experiments/x.py": (
+                "def publish(path, body):\n"
+                "    with open(path, 'w') as handle:\n"
+                "        handle.write(body)\n"
+            ),
+            "repro/sim/x.py": (
+                "def publish(path, body):\n"
+                "    path.write_text(body)\n"
+            ),
+        })
+        assert _lint(tmp_path, "R008") == []
+
 
 class TestEveryRuleHasFailingFixture:
     """Meta-guarantee: each registered rule fires on at least one fixture."""

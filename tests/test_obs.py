@@ -168,7 +168,7 @@ class TestSchema:
     @pytest.mark.parametrize(
         "overrides, fragment",
         [
-            ({"v": 2}, "schema version"),
+            ({"v": 3}, "schema version"),
             ({"kind": "metric"}, "unknown kind"),
             ({"name": ""}, "name"),
             ({"name": 7}, "name"),
